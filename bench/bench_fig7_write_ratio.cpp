@@ -1,0 +1,69 @@
+// Figure 7: performance with different write ratios — 9 nodes across 3
+// datacenters; Canopus at 1%, 20% and 50% writes vs EPaxos (whose curves
+// are write-ratio-independent, shown at 20%).
+//
+// Expected shape (paper): Canopus throughput rises as the workload gets
+// more read-heavy (3.6 M at 1% vs 2.65 M at 20%); even at 50% writes it
+// stays >= 2.5x above EPaxos.
+#include <vector>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace canopus;
+  using namespace canopus::workload;
+  const bool quick = bench::quick_mode(argc, argv);
+
+  bench::print_header("Figure 7: write-ratio sweep, 3 DCs x 3 nodes",
+                      "Fig 7, Sec 8.2.1");
+
+  struct Series {
+    const char* name;
+    System system;
+    double writes;
+  };
+  const std::vector<Series> series{
+      {"Canopus 1%-writes", System::kCanopus, 0.01},
+      {"Canopus 20%-writes", System::kCanopus, 0.2},
+      {"Canopus 50%-writes", System::kCanopus, 0.5},
+      {"EPaxos 20%-writes", System::kEPaxos, 0.2},
+  };
+
+  double canopus50 = 0, epaxos20 = 0;
+  for (const Series& s : series) {
+    TrialConfig tc;
+    tc.system = s.system;
+    tc.wan = true;
+    tc.groups = 3;
+    tc.per_group = 3;
+    tc.write_ratio = s.writes;
+    tc.warmup = 1'200 * kMillisecond;
+    tc.measure = quick ? kSecond : 1'500 * kMillisecond;
+    tc.drain = 1'500 * kMillisecond;
+    tc.canopus.pipelining = true;
+    tc.epaxos.batch_interval = 5 * kMillisecond;
+
+    std::vector<double> rates;
+    for (double r = 100'000; r <= 4'000'000; r *= quick ? 2.3 : 1.7)
+      rates.push_back(r);
+    const auto sweep = sweep_rates(make_trial(tc), rates);
+
+    std::printf("\n  %s\n", s.name);
+    const Time base = sweep.front().median;
+    double best = 0;
+    for (const auto& m : sweep) {
+      std::printf("    offered %8.3f M  ->  %8.3f Mreq/s   median %8.2f ms\n",
+                  bench::mreq(m.offered), bench::mreq(m.throughput),
+                  bench::ms(m.median));
+      if (m.median <= base + base / 2 && m.throughput > best)
+        best = m.throughput;
+    }
+    std::printf("    max throughput at <=1.5x base latency: %.3f Mreq/s\n",
+                bench::mreq(best));
+    if (s.system == System::kCanopus && s.writes == 0.5) canopus50 = best;
+    if (s.system == System::kEPaxos) epaxos20 = best;
+  }
+  std::printf("\nShape vs paper: Canopus-50%% / EPaxos = %.1fx (paper: ~2.5x)\n",
+              epaxos20 > 0 ? canopus50 / epaxos20 : 0.0);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the hot substrate primitives:
+// event queue churn, network delivery, LOT construction/queries, latency
+// histogram recording, and a whole miniature consensus cycle.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "canopus/lot.h"
+#include "canopus/node.h"
+#include "simnet/event_queue.h"
+#include "simnet/network.h"
+#include "simnet/topology.h"
+#include "workload/stats.h"
+
+namespace {
+
+using namespace canopus;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  simnet::EventQueue q;
+  Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.schedule(t + (i * 37) % 1000, [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().second);
+    t += 1000;
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  simnet::Simulator sim;
+  for (auto _ : state) {
+    auto id = sim.after(100, [] {});
+    sim.cancel(id);
+    sim.after(1, [] {});
+    sim.run();
+  }
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_NetworkDelivery(benchmark::State& state) {
+  simnet::Simulator sim;
+  simnet::RackConfig rc;
+  rc.racks = 3;
+  rc.servers_per_rack = 9;
+  rc.clients_per_rack = 0;
+  auto cluster = simnet::build_multi_rack(rc);
+  simnet::Network net(sim, cluster.topo);
+  struct Sink : simnet::Process {
+    void on_message(const simnet::Message&) override {}
+  };
+  std::vector<Sink> sinks(cluster.servers.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    net.attach(cluster.servers[i], sinks[i]);
+  sim.run();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net.send(simnet::Message(cluster.servers[i % 27],
+                             cluster.servers[(i + 13) % 27], 256, int{1}));
+    sim.run();
+    ++i;
+  }
+}
+BENCHMARK(BM_NetworkDelivery);
+
+void BM_LotBuild27(benchmark::State& state) {
+  lot::LotConfig cfg;
+  for (NodeId p = 0; p < 27; p += 3) cfg.super_leaves.push_back({p, p + 1, p + 2});
+  cfg.arity = 3;
+  for (auto _ : state) {
+    auto t = lot::Lot::build(cfg);
+    benchmark::DoNotOptimize(t.height());
+  }
+}
+BENCHMARK(BM_LotBuild27);
+
+void BM_EmulationTableQuery(benchmark::State& state) {
+  lot::LotConfig cfg;
+  for (NodeId p = 0; p < 27; p += 3) cfg.super_leaves.push_back({p, p + 1, p + 2});
+  auto t = lot::Lot::build(cfg);
+  lot::EmulationTable e(t);
+  e.remove(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.emulators(t.root()));
+  }
+}
+BENCHMARK(BM_EmulationTableQuery);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  workload::LatencyHistogram h;
+  Rng rng(3);
+  for (auto _ : state) {
+    h.record(static_cast<Time>(rng.below(100 * kMillisecond)));
+  }
+  benchmark::DoNotOptimize(h.median());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// A full 9-node consensus cycle: submit one write, run to commit.
+void BM_CanopusFullCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    simnet::Simulator sim(42);
+    simnet::RackConfig rc;
+    rc.racks = 3;
+    rc.servers_per_rack = 3;
+    rc.clients_per_rack = 0;
+    auto cluster = simnet::build_multi_rack(rc);
+    simnet::Network net(sim, cluster.topo);
+    lot::LotConfig lc;
+    for (int g = 0; g < 3; ++g)
+      lc.super_leaves.push_back({cluster.servers[static_cast<std::size_t>(3 * g)],
+                                 cluster.servers[static_cast<std::size_t>(3 * g + 1)],
+                                 cluster.servers[static_cast<std::size_t>(3 * g + 2)]});
+    auto lot = std::make_shared<const lot::Lot>(lot::Lot::build(lc));
+    std::vector<std::unique_ptr<core::CanopusNode>> nodes;
+    for (NodeId s : cluster.servers) {
+      nodes.push_back(std::make_unique<core::CanopusNode>(lot, core::Config{}));
+      net.attach(s, *nodes.back());
+    }
+    sim.run_until(kMillisecond);
+    state.ResumeTiming();
+
+    sim.at(sim.now(), [&] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = 1;
+      r.value = 2;
+      nodes[0]->submit(r);
+    });
+    while (nodes[8]->last_committed_cycle() == 0 && !sim.idle())
+      sim.run_until(sim.now() + kMillisecond);
+    benchmark::DoNotOptimize(nodes[8]->last_committed_cycle());
+  }
+}
+BENCHMARK(BM_CanopusFullCycle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared table-printing and CLI helpers for the figure benches.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workload/deployments.h"
+#include "workload/runner.h"
+
+namespace canopus::bench {
+
+/// Default runs use a moderate sweep depth so the whole bench suite
+/// finishes in minutes; pass `--full` for the fine-grained sweeps used in
+/// EXPERIMENTS.md.
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  return false;
+}
+
+/// Kept for scripts that explicitly ask for the smoke configuration; the
+/// default is already the moderate depth.
+inline bool quick_mode(int argc, char** argv) {
+  return !full_mode(argc, argv);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline double mreq(double req_per_s) { return req_per_s / 1e6; }
+inline double ms(Time t) { return static_cast<double>(t) / kMillisecond; }
+
+inline void print_measurement_row(const char* label,
+                                  const workload::Measurement& m) {
+  std::printf("  %-34s  %8.3f Mreq/s   median %8.3f ms   p99 %8.3f ms\n",
+              label, mreq(m.throughput), ms(m.median), ms(m.p99));
+}
+
+}  // namespace canopus::bench

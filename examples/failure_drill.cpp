@@ -1,0 +1,121 @@
+// Failure drill: watch Canopus handle node failures exactly as §4.3-§4.6
+// and §6 specify — exclusion of a crashed member, membership updates
+// piggybacked on proposals, continued progress, and the documented stall
+// (NOT wrong results) when a whole super-leaf dies.
+//
+//   ./build/examples/failure_drill
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "canopus/node.h"
+#include "simnet/network.h"
+#include "simnet/topology.h"
+
+using namespace canopus;
+
+namespace {
+
+struct Drill {
+  simnet::Simulator sim{42};
+  simnet::Cluster cluster;
+  std::unique_ptr<simnet::Network> net;
+  std::shared_ptr<const lot::Lot> lot;
+  std::vector<std::unique_ptr<core::CanopusNode>> nodes;
+
+  Drill() {
+    simnet::RackConfig rack;
+    rack.racks = 2;
+    rack.servers_per_rack = 3;
+    rack.clients_per_rack = 0;
+    cluster = simnet::build_multi_rack(rack);
+    net = std::make_unique<simnet::Network>(sim, cluster.topo);
+    lot::LotConfig lc;
+    for (int r = 0; r < 2; ++r) {
+      lc.super_leaves.emplace_back();
+      for (int s = 0; s < 3; ++s)
+        lc.super_leaves.back().push_back(
+            cluster.servers[static_cast<std::size_t>(3 * r + s)]);
+    }
+    lot = std::make_shared<const lot::Lot>(lot::Lot::build(lc));
+    for (NodeId s : cluster.servers) {
+      nodes.push_back(std::make_unique<core::CanopusNode>(lot, core::Config{}));
+      net->attach(s, *nodes.back());
+    }
+  }
+
+  void write(std::size_t node, std::uint64_t key, std::uint64_t value) {
+    sim.at(sim.now(), [this, node, key, value] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = key;
+      r.value = value;
+      r.arrival = sim.now();
+      nodes[node]->submit(r);
+    });
+  }
+
+  void crash(std::size_t node) {
+    net->crash(cluster.servers[node]);
+    nodes[node]->crash();
+  }
+
+  bool agree() const {
+    const kv::CommitDigest* first = nullptr;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!net->is_up(cluster.servers[i])) continue;
+      if (first == nullptr)
+        first = &nodes[i]->digest();
+      else if (!(*first == nodes[i]->digest()))
+        return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Drill d;
+
+  std::printf("phase 1: healthy cluster (2 super-leaves x 3 nodes)\n");
+  d.write(0, 1, 100);
+  d.sim.run_until(kSecond);
+  std::printf("  committed cycles: %llu, agreement: %s\n",
+              static_cast<unsigned long long>(d.nodes[5]->last_committed_cycle()),
+              d.agree() ? "YES" : "NO");
+
+  std::printf("\nphase 2: crash one member of super-leaf 0 (node 2)\n");
+  d.crash(2);
+  d.sim.run_until(d.sim.now() + 3 * kSecond);  // Raft-based detection
+  std::printf("  super-leaf 0 live view on node 0: %zu members\n",
+              d.nodes[0]->live_peers().size());
+
+  d.write(0, 2, 200);
+  d.write(3, 3, 300);
+  d.sim.run_until(d.sim.now() + 3 * kSecond);
+  std::printf("  new writes committed on both super-leaves: key2=%llu key3=%llu\n",
+              static_cast<unsigned long long>(d.nodes[4]->store().read(2)),
+              static_cast<unsigned long long>(d.nodes[4]->store().read(3)));
+  std::printf("  dead node removed from remote emulation table: %s\n",
+              !d.nodes[4]->emulation_table().is_live(d.cluster.servers[2])
+                  ? "YES"
+                  : "NO");
+  std::printf("  agreement: %s\n", d.agree() ? "YES" : "NO");
+
+  std::printf("\nphase 3: kill super-leaf 0 entirely (quorum loss)\n");
+  d.crash(0);
+  d.crash(1);
+  const CycleId before = d.nodes[3]->last_committed_cycle();
+  d.write(3, 9, 900);
+  d.sim.run_until(d.sim.now() + 5 * kSecond);
+  const CycleId after = d.nodes[3]->last_committed_cycle();
+  std::printf("  super-leaf 1 committed cycles before/after: %llu/%llu\n",
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(after));
+  std::printf("  protocol stalled (no wrong results, Sec 6): %s\n",
+              after <= before + 1 && d.agree() ? "YES" : "NO");
+  std::printf("\nCanopus trades availability under rack failure for the\n"
+              "simplicity and speed of the common case — by design.\n");
+  return d.agree() ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Quickstart: a 9-node Canopus group (3 super-leaves x 3 nodes) reaching
+// consensus on a handful of key-value writes, with linearizable reads.
+//
+//   cmake --build build && ./build/examples/quickstart
+//
+// Walkthrough:
+//   1. build a single-datacenter topology (racks behind an oversubscribed
+//      aggregation switch);
+//   2. arrange the servers into a Leaf-Only Tree (one super-leaf per rack);
+//   3. attach a CanopusNode to every server;
+//   4. submit writes at different nodes and a read, run the simulation;
+//   5. observe that every node committed the SAME order (equal digests)
+//      and holds the same KV state.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "canopus/node.h"
+#include "simnet/network.h"
+#include "simnet/topology.h"
+
+using namespace canopus;
+
+int main() {
+  // 1. Topology: 3 racks x 3 servers, 10 Gb NICs, 2x10 Gb uplinks.
+  simnet::Simulator sim(/*seed=*/2024);
+  simnet::RackConfig rack;
+  rack.racks = 3;
+  rack.servers_per_rack = 3;
+  rack.clients_per_rack = 0;
+  simnet::Cluster cluster = simnet::build_multi_rack(rack);
+  simnet::Network net(sim, cluster.topo);
+
+  // 2. LOT: one super-leaf per rack; height 2 (two rounds per cycle).
+  lot::LotConfig lc;
+  for (int r = 0; r < 3; ++r) {
+    lc.super_leaves.emplace_back();
+    for (int s = 0; s < 3; ++s)
+      lc.super_leaves.back().push_back(
+          cluster.servers[static_cast<std::size_t>(3 * r + s)]);
+  }
+  auto lot = std::make_shared<const lot::Lot>(lot::Lot::build(lc));
+  std::printf("LOT height: %d, %zu pnodes, root vnode \"%s\"\n",
+              lot->height(), lot->num_pnodes(), lot->name(lot->root()).c_str());
+
+  // 3. One CanopusNode per server.
+  std::vector<std::unique_ptr<core::CanopusNode>> nodes;
+  for (NodeId s : cluster.servers) {
+    nodes.push_back(std::make_unique<core::CanopusNode>(lot, core::Config{}));
+    net.attach(s, *nodes.back());
+  }
+
+  // Print the global order as node 4 commits it.
+  nodes[4]->on_commit = [&](CycleId cycle,
+                            const std::vector<kv::Request>& writes) {
+    std::printf("cycle %llu committed %zu writes:",
+                static_cast<unsigned long long>(cycle), writes.size());
+    for (const auto& w : writes)
+      std::printf("  [key %llu := %llu]",
+                  static_cast<unsigned long long>(w.key),
+                  static_cast<unsigned long long>(w.value));
+    std::printf("\n");
+  };
+
+  // 4. Concurrent writes at three different nodes + one read.
+  auto write = [&](Time t, std::size_t node, std::uint64_t key,
+                   std::uint64_t value) {
+    sim.at(t, [&, node, key, value] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = key;
+      r.value = value;
+      r.arrival = sim.now();
+      nodes[node]->submit(r);
+    });
+  };
+  write(1 * kMillisecond, 0, /*key=*/1, /*value=*/100);
+  write(1 * kMillisecond, 4, /*key=*/2, /*value=*/200);
+  write(1 * kMillisecond, 8, /*key=*/1, /*value=*/111);
+  sim.at(2 * kMillisecond, [&] {
+    kv::Request r;
+    r.is_write = false;
+    r.key = 1;
+    r.arrival = sim.now();
+    nodes[2]->submit(r);  // linearized read, delayed 1-2 cycles
+  });
+
+  sim.run_until(2 * kSecond);
+
+  // 5. Agreement: identical digests and state everywhere.
+  bool agree = true;
+  for (const auto& n : nodes)
+    agree = agree && n->digest() == nodes[0]->digest();
+  std::printf("\nall 9 nodes committed the same order: %s\n",
+              agree ? "YES" : "NO");
+  std::printf("key 1 = %llu, key 2 = %llu (on node 7)\n",
+              static_cast<unsigned long long>(nodes[7]->store().read(1)),
+              static_cast<unsigned long long>(nodes[7]->store().read(2)));
+  std::printf("reads served by node 2: %llu\n",
+              static_cast<unsigned long long>(nodes[2]->served_reads()));
+  return agree ? 0 : 1;
+}

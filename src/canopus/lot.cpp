@@ -1,0 +1,202 @@
+#include "canopus/lot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace canopus::lot {
+
+namespace {
+// pnode -> dense slot lookup shared by Lot and EmulationTable.
+std::unordered_map<NodeId, std::size_t> build_slots(
+    const std::vector<std::vector<NodeId>>& super_leaves) {
+  std::unordered_map<NodeId, std::size_t> slots;
+  std::size_t next = 0;
+  for (const auto& sl : super_leaves)
+    for (NodeId p : sl) {
+      if (!slots.emplace(p, next).second)
+        throw std::invalid_argument("pnode appears in two super-leaves");
+      ++next;
+    }
+  return slots;
+}
+}  // namespace
+
+Lot Lot::build(const LotConfig& cfg) {
+  if (cfg.super_leaves.empty())
+    throw std::invalid_argument("LOT needs at least one super-leaf");
+  for (const auto& sl : cfg.super_leaves)
+    if (sl.empty()) throw std::invalid_argument("empty super-leaf");
+  if (cfg.arity == 1)
+    throw std::invalid_argument("internal arity must be 0 or >= 2");
+
+  Lot t;
+  t.super_leaves_ = cfg.super_leaves;
+
+  const auto slots = build_slots(cfg.super_leaves);
+  t.pnode_count_ = slots.size();
+  t.leaf_vnode_by_pnode_.resize(t.pnode_count_);
+  t.sl_by_pnode_.resize(t.pnode_count_);
+  t.pnode_index_.resize(t.pnode_count_);
+
+  // Leaves first: one vnode per pnode.
+  for (std::size_t sl = 0; sl < cfg.super_leaves.size(); ++sl) {
+    for (NodeId p : cfg.super_leaves[sl]) {
+      const VnodeId v = t.parent_.size();
+      t.parent_.push_back(0);  // fixed up below
+      t.level_.push_back(0);
+      t.children_.emplace_back();
+      t.descendants_.push_back({p});
+      t.pnode_.push_back(p);
+      const std::size_t slot = slots.at(p);
+      t.leaf_vnode_by_pnode_[slot] = v;
+      t.sl_by_pnode_[slot] = static_cast<int>(sl);
+      t.pnode_index_[slot] = p;
+    }
+  }
+
+  // Height-1 vnodes: super-leaf parents.
+  std::vector<VnodeId> frontier;
+  for (std::size_t sl = 0; sl < cfg.super_leaves.size(); ++sl) {
+    const VnodeId v = t.parent_.size();
+    t.parent_.push_back(0);
+    t.level_.push_back(1);
+    std::vector<VnodeId> kids;
+    std::vector<NodeId> desc;
+    for (NodeId p : cfg.super_leaves[sl]) {
+      const VnodeId leaf = t.leaf_vnode_by_pnode_[slots.at(p)];
+      kids.push_back(leaf);
+      t.parent_[leaf] = v;
+      desc.push_back(p);
+    }
+    t.children_.push_back(std::move(kids));
+    t.descendants_.push_back(std::move(desc));
+    t.pnode_.push_back(kInvalidNode);
+    t.sl_vnode_.push_back(v);
+    frontier.push_back(v);
+  }
+
+  // Internal levels: group `arity` vnodes per parent until one remains.
+  int level = 1;
+  while (frontier.size() > 1) {
+    ++level;
+    const std::size_t group =
+        cfg.arity >= 2 ? static_cast<std::size_t>(cfg.arity)
+                       : frontier.size();  // arity 0: single parent level
+    std::vector<VnodeId> next;
+    for (std::size_t i = 0; i < frontier.size(); i += group) {
+      const VnodeId v = t.parent_.size();
+      t.parent_.push_back(0);
+      t.level_.push_back(level);
+      std::vector<VnodeId> kids;
+      std::vector<NodeId> desc;
+      for (std::size_t j = i; j < std::min(i + group, frontier.size()); ++j) {
+        kids.push_back(frontier[j]);
+        t.parent_[frontier[j]] = v;
+        const auto& d = t.descendants_[frontier[j]];
+        desc.insert(desc.end(), d.begin(), d.end());
+      }
+      t.children_.push_back(std::move(kids));
+      t.descendants_.push_back(std::move(desc));
+      t.pnode_.push_back(kInvalidNode);
+      next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+
+  t.root_ = frontier.front();
+  t.parent_[t.root_] = t.root_;
+  t.height_ = t.level_[t.root_];
+  return t;
+}
+
+std::size_t Lot::pnode_slot(NodeId pnode) const {
+  for (std::size_t i = 0; i < pnode_index_.size(); ++i)
+    if (pnode_index_[i] == pnode) return i;
+  throw std::out_of_range("unknown pnode");
+}
+
+VnodeId Lot::leaf_of(NodeId pnode) const {
+  return leaf_vnode_by_pnode_[pnode_slot(pnode)];
+}
+
+VnodeId Lot::ancestor(NodeId pnode, int level) const {
+  VnodeId v = leaf_of(pnode);
+  for (int i = 0; i < level; ++i) v = parent_[v];
+  return v;
+}
+
+int Lot::super_leaf_of(NodeId pnode) const {
+  return sl_by_pnode_[pnode_slot(pnode)];
+}
+
+std::string Lot::name(VnodeId v) const {
+  if (v == root_) return "1";
+  std::string suffix;
+  VnodeId cur = v;
+  while (cur != root_) {
+    const VnodeId p = parent_[cur];
+    const auto& kids = children_[p];
+    const auto pos =
+        std::find(kids.begin(), kids.end(), cur) - kids.begin() + 1;
+    suffix = "." + std::to_string(pos) + suffix;
+    cur = p;
+  }
+  return "1" + suffix;
+}
+
+EmulationTable::EmulationTable(const Lot& lot)
+    : lot_(&lot),
+      live_(lot.num_pnodes(), true),
+      live_count_(lot.num_pnodes()) {}
+
+std::size_t EmulationTable::slot(NodeId pnode) const {
+  // Delegate to the Lot's slot mapping through leaf_of (throws on unknown).
+  const VnodeId leaf = lot_->leaf_of(pnode);
+  // Leaves were created in slot order, so the leaf vnode's position among
+  // leaves equals the slot. Leaves occupy vnodes [0, num_pnodes) but not in
+  // slot order per super-leaf flattening — recover via linear scan like
+  // Lot::pnode_slot. Cheap at deployment sizes (<= hundreds of nodes).
+  (void)leaf;
+  for (std::size_t sl = 0, idx = 0; sl < lot_->num_super_leaves(); ++sl)
+    for (NodeId p : lot_->super_leaf_members(static_cast<int>(sl))) {
+      if (p == pnode) return idx;
+      ++idx;
+    }
+  throw std::out_of_range("unknown pnode");
+}
+
+bool EmulationTable::is_live(NodeId pnode) const { return live_[slot(pnode)]; }
+
+void EmulationTable::remove(NodeId pnode) {
+  const std::size_t s = slot(pnode);
+  if (live_[s]) {
+    live_[s] = false;
+    --live_count_;
+  }
+}
+
+void EmulationTable::add(NodeId pnode) {
+  const std::size_t s = slot(pnode);
+  if (!live_[s]) {
+    live_[s] = true;
+    ++live_count_;
+  }
+}
+
+std::vector<NodeId> EmulationTable::emulators(VnodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId p : lot_->descendants(v))
+    if (live_[slot(p)]) out.push_back(p);
+  return out;
+}
+
+std::vector<NodeId> EmulationTable::live_members(int sl) const {
+  std::vector<NodeId> out;
+  for (NodeId p : lot_->super_leaf_members(sl))
+    if (live_[slot(p)]) out.push_back(p);
+  return out;
+}
+
+}  // namespace canopus::lot

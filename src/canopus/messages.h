@@ -1,0 +1,84 @@
+// Canopus wire messages (§4.2).
+//
+// A Proposal is both the round-1 broadcast ("here are my pending writes,
+// my random proposal number, my membership observations") and the carrier
+// of merged vnode state in later rounds. `round` is the round in which the
+// proposal is *consumed*: round-1 proposals carry leaf state; the merged
+// state of a height-r ancestor is consumed in round r+1.
+//
+// Read requests are deliberately absent: Canopus never disseminates reads
+// (§5); only write requests ride in proposals.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "kv/types.h"
+
+namespace canopus::proto {
+
+struct MembershipUpdate {
+  enum class Kind : std::uint8_t { kLeave, kJoin };
+  Kind kind = Kind::kLeave;
+  NodeId node = kInvalidNode;
+
+  friend bool operator==(const MembershipUpdate&,
+                         const MembershipUpdate&) = default;
+};
+
+struct Proposal {
+  CycleId cycle = 0;
+  RoundId round = 1;   ///< round in which this proposal is consumed
+  VnodeId vnode = 0;   ///< vnode whose state this carries
+  /// Large random number ordering proposals within a round; merged
+  /// proposals carry the max of their inputs (§4.2).
+  std::uint64_t number = 0;
+  /// Deterministic tie-break: the unique id of the node/vnode that
+  /// generated `number` ("ties are broken using the unique IDs").
+  std::uint64_t tiebreak = 0;
+  /// Ordered write requests. Shared so that re-broadcasting a fetched
+  /// proposal inside a super-leaf does not copy thousands of requests.
+  std::shared_ptr<const std::vector<kv::Request>> writes;
+  std::vector<MembershipUpdate> membership;
+
+  std::size_t write_count() const { return writes ? writes->size() : 0; }
+
+  std::size_t wire_bytes() const {
+    return 64 + kv::kRequestWire * write_count() + 8 * membership.size();
+  }
+
+  /// Ordering within a round: by (number, tiebreak); tiebreak collisions
+  /// cannot happen across distinct proposals of one round.
+  friend bool operator<(const Proposal& a, const Proposal& b) {
+    return a.number != b.number ? a.number < b.number
+                                : a.tiebreak < b.tiebreak;
+  }
+};
+
+/// Representative -> remote emulator: "send me the state of `vnode` for
+/// `cycle`" (§4.2). Also serves as the cross-super-leaf self-synchronization
+/// prompt (§4.4).
+struct ProposalRequest {
+  CycleId cycle = 0;
+  RoundId round = 1;  ///< round the requester will consume the state in
+  VnodeId vnode = 0;
+
+  static constexpr std::size_t kWire = 32;
+};
+
+/// Joining node -> a live super-leaf member (§3 assumption 6).
+struct JoinRequest {
+  NodeId joiner = kInvalidNode;
+  static constexpr std::size_t kWire = 16;
+};
+
+/// Sponsor -> joiner: the cycle from which the joiner participates plus the
+/// state snapshot (snapshot content is modelled by wire size only).
+struct JoinAck {
+  CycleId first_cycle = 0;
+  std::size_t snapshot_bytes = 0;
+  std::size_t wire_bytes() const { return 32 + snapshot_bytes; }
+};
+
+}  // namespace canopus::proto

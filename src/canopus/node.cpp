@@ -1,0 +1,634 @@
+#include "canopus/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "raft/messages.h"
+
+namespace canopus::core {
+
+namespace {
+/// Deterministic spreading of fetch targets across emulators without
+/// consuming simulator randomness (keeps traces stable under refactors).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL ^ b * 0xbf58476d1ce4e5b9ULL ^
+                    c * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+CanopusNode::CanopusNode(std::shared_ptr<const lot::Lot> lot, Config cfg)
+    : lot_(std::move(lot)), cfg_(cfg), emu_(*lot_) {}
+
+void CanopusNode::on_start() {
+  const int sl = lot_->super_leaf_of(node_id());
+  sl_live_ = lot_->super_leaf_members(sl);
+
+  if (cfg_.broadcast == BroadcastKind::kRaft) {
+    rbcast::ReliableBroadcast::Callbacks cb;
+    cb.send = [this](NodeId dst, const raft::WireMsg& m) {
+      send(dst, m.wire_bytes(), m);
+    };
+    cb.deliver = [this](NodeId origin, const std::any& payload) {
+      handle_rb_deliver(origin, payload);
+    };
+    cb.on_peer_failed = [this](NodeId failed) { handle_peer_failed(failed); };
+    rb_ = std::make_unique<rbcast::ReliableBroadcast>(
+        node_id(), sl_live_, sim(), std::move(cb), cfg_.raft);
+  } else {
+    rbcast::Broadcast::Callbacks cb;
+    cb.deliver = [this](NodeId origin, const std::any& payload) {
+      handle_rb_deliver(origin, payload);
+    };
+    cb.on_peer_failed = [this](NodeId failed) { handle_peer_failed(failed); };
+    rb_ = std::make_unique<rbcast::SwitchBroadcast>(
+        node_id(), sl_live_, cfg_.sequencers->get(sl), sim(), net(),
+        std::move(cb), cfg_.switch_broadcast);
+  }
+  rb_->start();
+}
+
+void CanopusNode::crash() {
+  crashed_ = true;
+  if (rb_) rb_->stop();
+  if (pipeline_timer_ != simnet::kInvalidEvent) {
+    sim().cancel(pipeline_timer_);
+    pipeline_timer_ = simnet::kInvalidEvent;
+  }
+}
+
+void CanopusNode::on_message(const simnet::Message& m) {
+  if (crashed_) return;
+  if (rb_->handle(m)) {
+    // consumed by the broadcast substrate
+  } else if (const auto* pr = m.as<proto::ProposalRequest>()) {
+    handle_proposal_request(m.src(), *pr);
+  } else if (const auto* p = m.as<proto::Proposal>()) {
+    handle_fetched_proposal(*p);
+  } else if (const auto* batch = m.as<kv::ClientBatch>()) {
+    handle_client_batch(*batch);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Client requests and reads (§5, §7.2)
+// --------------------------------------------------------------------------
+
+void CanopusNode::submit(kv::Request r) {
+  if (crashed_) return;
+  r.origin = node_id();
+  if (r.is_write) {
+    pending_writes_.push_back(r);
+  } else {
+    enqueue_read(r);
+  }
+  maybe_start_next_cycle();
+  flush_replies();
+}
+
+void CanopusNode::handle_client_batch(const kv::ClientBatch& batch) {
+  for (const kv::Request& req : batch.reqs) {
+    kv::Request r = req;
+    r.origin = node_id();
+    if (r.is_write) {
+      pending_writes_.push_back(r);
+    } else {
+      enqueue_read(r);
+    }
+  }
+  maybe_start_next_cycle();
+  flush_replies();  // lease-served reads answer immediately
+}
+
+void CanopusNode::enqueue_read(kv::Request r) {
+  if (cfg_.write_leases && !lease_active(r.key)) {
+    // §7.2: no write lease active for this key in any ongoing cycle —
+    // read the committed state immediately.
+    serve_read(r);
+    return;
+  }
+  pending_reads_.push_back(PendingRead{r, pending_writes_.size()});
+}
+
+bool CanopusNode::lease_active(std::uint64_t key) const {
+  const auto it = leases_.find(key);
+  return it != leases_.end() && it->second >= last_committed_ + 1;
+}
+
+void CanopusNode::serve_read(const kv::Request& r) {
+  ++served_reads_;
+  net().busy(node_id(), cfg_.cpu_per_read);
+  const std::uint64_t value = store_.read(r.key);
+  if (on_read) on_read(r, value);
+  kv::Completion done{r.id, false, value, r.arrival};
+  reply_buffer_[r.id.client].done.push_back(done);
+}
+
+void CanopusNode::flush_replies() {
+  for (auto& [client, batch] : reply_buffer_) {
+    if (client != kInvalidNode && !batch.done.empty())
+      send(client, batch.wire_bytes(), std::move(batch));
+  }
+  reply_buffer_.clear();
+}
+
+// --------------------------------------------------------------------------
+// Cycle lifecycle (§4.2, §4.4, §7.1)
+// --------------------------------------------------------------------------
+
+CanopusNode::CycleState& CanopusNode::cycle(CycleId c) {
+  CycleState& cs = cycles_[c];
+  if (cs.acc.empty()) {
+    const auto h = static_cast<std::size_t>(lot_->height());
+    cs.acc.resize(h + 1);
+    cs.state.resize(h + 1);
+  }
+  return cs;
+}
+
+void CanopusNode::maybe_start_next_cycle(bool timer_fired) {
+  if (crashed_) return;
+  const bool local_work =
+      !pending_writes_.empty() || !pending_reads_.empty();
+  const bool idle = last_started_ == last_committed_;
+
+  bool go;
+  if (!cfg_.pipelining) {
+    // One cycle at a time: start only when nothing is in flight, on outside
+    // prompting or local work (§4.4).
+    go = idle && (local_work || prompted_);
+  } else {
+    // §7.1/§4.4: cycle starts are paced by the inter-cycle timer and the
+    // batch-size trigger, but outside prompting (a message for a cycle we
+    // have not started) starts the next cycle immediately — that is the
+    // self-synchronization that keeps every super-leaf's cycle numbers
+    // aligned in wall-clock time. A node that briefly skipped ticks catches
+    // up in a burst of (empty) cycles; max_outstanding_cycles bounds the
+    // burst.
+    if (last_started_ - last_committed_ >= cfg_.max_outstanding_cycles)
+      return;
+    const bool batch_full =
+        pending_writes_.size() + pending_reads_.size() >= cfg_.max_batch;
+    // The timer fires a cycle even with an empty batch while the pipeline
+    // is active: "a periodical timer ... serves as an upper bound for the
+    // offset between the start of two consensus cycles" (§7.1). Keeping
+    // every super-leaf's cycle numbers aligned in wall-clock time is what
+    // lets a cycle complete in ~1 RTT — a lagging super-leaf would stall
+    // everyone's fetches. The consecutive-empty guard lets a fully idle
+    // system quiesce instead of ticking forever.
+    const bool keep_cadence =
+        local_work || (!idle && empty_streak_ < cfg_.max_outstanding_cycles);
+    go = prompted_ || batch_full || (timer_fired && keep_cadence) ||
+         (idle && local_work);
+    if (go) {
+      if (timer_fired)
+        ++debug_.starts_timer;
+      else if (batch_full)
+        ++debug_.starts_batch_full;
+      else
+        ++debug_.starts_idle;
+    }
+  }
+  if (go) start_cycle(last_started_ + 1);
+}
+
+void CanopusNode::start_cycle(CycleId c) {
+  assert(c == last_started_ + 1);
+  CycleState& cs = cycle(c);
+  cs.started = true;
+  last_started_ = c;
+  prompted_ = false;
+  if (on_cycle_start) on_cycle_start(c);
+
+  // Cap the batch (paper §7.1: "...or after 1000 requests have
+  // accumulated"). Without the cap, a transient slowdown snowballs: the
+  // next cycle drains a larger backlog, producing larger proposals, which
+  // slow the cycle further. With it, overload degrades gracefully into
+  // client-visible queueing delay.
+  std::vector<kv::Request> batch;
+  if (pending_writes_.size() <= cfg_.max_batch) {
+    batch = std::move(pending_writes_);
+    pending_writes_.clear();
+    cs.reads = std::move(pending_reads_);
+    pending_reads_.clear();
+  } else {
+    batch.assign(pending_writes_.begin(),
+                 pending_writes_.begin() +
+                     static_cast<std::ptrdiff_t>(cfg_.max_batch));
+    pending_writes_.erase(pending_writes_.begin(),
+                          pending_writes_.begin() +
+                              static_cast<std::ptrdiff_t>(cfg_.max_batch));
+    // Reads positioned within the drained prefix go now; later reads stay
+    // behind, with positions rebased onto the remaining writes.
+    std::vector<PendingRead> later;
+    for (PendingRead& r : pending_reads_) {
+      if (r.pos <= cfg_.max_batch) {
+        cs.reads.push_back(r);
+      } else {
+        r.pos -= cfg_.max_batch;
+        later.push_back(r);
+      }
+    }
+    pending_reads_ = std::move(later);
+  }
+  cs.own_writes = batch.size();
+  empty_streak_ =
+      batch.empty() && cs.reads.empty() ? empty_streak_ + 1 : 0;
+
+  proto::Proposal p;
+  p.cycle = c;
+  p.round = 1;
+  p.vnode = lot_->leaf_of(node_id());
+  p.number = sim().rng()();
+  p.tiebreak = node_id();
+  p.writes =
+      std::make_shared<const std::vector<kv::Request>>(std::move(batch));
+  p.membership = std::move(pending_membership_);
+  pending_membership_.clear();
+
+  rb_->broadcast(p, p.wire_bytes());
+
+  // Re-prompt if traffic for even-later cycles is already buffered, so the
+  // next start is not lost (§7.1 starts cycles strictly in sequence).
+  prompted_ = false;
+  for (auto it = cycles_.upper_bound(last_started_); it != cycles_.end();
+       ++it) {
+    const CycleState& later = it->second;
+    const bool has_traffic =
+        !later.parked_requests.empty() ||
+        std::any_of(later.acc.begin(), later.acc.end(),
+                    [](const auto& m) { return !m.empty(); });
+    if (has_traffic) {
+      prompted_ = true;
+      break;
+    }
+  }
+
+  if (cfg_.pipelining) arm_pipeline_timer();
+}
+
+void CanopusNode::arm_pipeline_timer() {
+  if (pipeline_timer_ != simnet::kInvalidEvent) sim().cancel(pipeline_timer_);
+  pipeline_timer_ = after(cfg_.cycle_interval, [this] {
+    pipeline_timer_ = simnet::kInvalidEvent;
+    ++debug_.timer_fires;
+    maybe_start_next_cycle(/*timer_fired=*/true);
+    // Keep ticking while cycles are in flight so batched work is not
+    // stranded waiting for a prompt.
+    if (last_started_ != last_committed_) arm_pipeline_timer();
+  });
+}
+
+// --------------------------------------------------------------------------
+// Proposal flow (§4.2)
+// --------------------------------------------------------------------------
+
+void CanopusNode::handle_rb_deliver(NodeId /*origin*/,
+                                    const std::any& payload) {
+  if (crashed_) return;
+  const auto* p = std::any_cast<proto::Proposal>(&payload);
+  if (p == nullptr) return;
+  if (p->cycle > last_started_) {
+    prompted_ = true;
+    // §7.1: always start cycles in sequence, never skip to p->cycle.
+    maybe_start_next_cycle();
+  }
+  add_proposal(p->cycle, *p);
+}
+
+void CanopusNode::add_proposal(CycleId c, const proto::Proposal& p) {
+  CycleState& cs = cycle(c);
+  auto& round_acc = cs.acc[p.round];
+  if (!round_acc.emplace(p.vnode, p).second) return;  // duplicate
+  if (on_proposal_added) on_proposal_added(c, p.round, p.vnode);
+
+  // A satisfied fetch no longer needs its retry timer.
+  if (auto it = cs.fetches.find(p.vnode); it != cs.fetches.end()) {
+    if (it->second.timer != simnet::kInvalidEvent)
+      sim().cancel(it->second.timer);
+    cs.fetches.erase(it);
+  }
+  try_complete_round(c, p.round);
+}
+
+void CanopusNode::try_complete_round(CycleId c, RoundId r) {
+  CycleState& cs = cycle(c);
+  if (cs.complete || cs.rounds_done != r - 1) return;
+  const auto& got = cs.acc[r];
+
+  if (r == 1) {
+    if (!cs.started) return;
+    // Need the round-1 proposal of every *currently live* super-leaf peer.
+    // Exclusions are ordered after the excluded node's final committed
+    // broadcasts (see rbcast), so this set is consistent across survivors.
+    for (NodeId m : sl_live_) {
+      if (!got.contains(lot_->leaf_of(m))) return;
+    }
+  } else {
+    for (VnodeId child : lot_->children(lot_->ancestor(node_id(), r))) {
+      if (!got.contains(child)) return;
+    }
+  }
+  complete_round(c, r);
+}
+
+void CanopusNode::complete_round(CycleId c, RoundId r) {
+  CycleState& cs = cycle(c);
+  const auto h = static_cast<RoundId>(lot_->height());
+
+  // Sort this round's inputs by (proposal number, tiebreak) — the paper's
+  // randomized total order with deterministic tie-breaks.
+  std::vector<const proto::Proposal*> inputs;
+  inputs.reserve(cs.acc[r].size());
+  for (const auto& [v, p] : cs.acc[r]) inputs.push_back(&p);
+  std::sort(inputs.begin(), inputs.end(),
+            [](const proto::Proposal* a, const proto::Proposal* b) {
+              return *a < *b;
+            });
+
+  // Merge: concatenate request sets in sorted order; membership updates are
+  // unioned; the merged proposal number is the round's max (§4.2).
+  const VnodeId own_child =
+      r == 1 ? lot_->leaf_of(node_id()) : lot_->ancestor(node_id(), r - 1);
+  auto merged_writes = std::make_shared<std::vector<kv::Request>>();
+  std::size_t total = 0;
+  for (const auto* p : inputs) total += p->write_count();
+  merged_writes->reserve(total);
+  // Protocol CPU: merging/sorting this round's request lists.
+  net().busy(node_id(),
+             static_cast<Time>(total) * cfg_.cpu_per_write / 2);
+
+  proto::Proposal merged;
+  std::size_t prefix = 0;
+  bool before_own = true;
+  for (const auto* p : inputs) {
+    if (p->vnode == own_child) before_own = false;
+    if (before_own) prefix += p->write_count();
+    if (p->writes)
+      merged_writes->insert(merged_writes->end(), p->writes->begin(),
+                            p->writes->end());
+    merged.membership.insert(merged.membership.end(), p->membership.begin(),
+                             p->membership.end());
+  }
+  // own_prefix accumulates, round by round, the number of writes globally
+  // ordered before this node's own request set.
+  cs.own_prefix += prefix;
+
+  merged.cycle = c;
+  merged.round = r + 1;
+  merged.vnode = lot_->ancestor(node_id(), static_cast<int>(r));
+  merged.number = inputs.back()->number;
+  merged.tiebreak = inputs.back()->tiebreak;
+  merged.writes = std::move(merged_writes);
+
+  cs.state[r] = std::move(merged);
+  cs.rounds_done = r;
+  if (on_round_done) on_round_done(c, r);
+
+  answer_parked(c, r);
+
+  if (r == h) {
+    cs.complete = true;
+    if (on_cycle_complete) on_cycle_complete(c);
+    try_commit();
+    return;
+  }
+  // Feed our own subtree's state into the next round and fetch siblings.
+  add_proposal(c, *cs.state[r]);
+  begin_fetches(c, r + 1);
+}
+
+void CanopusNode::answer_parked(CycleId c, RoundId r) {
+  CycleState& cs = cycle(c);
+  const VnodeId v = lot_->ancestor(node_id(), static_cast<int>(r));
+  auto it = cs.parked_requests.find(v);
+  if (it == cs.parked_requests.end()) return;
+  const proto::Proposal& p = *cs.state[r];
+  for (NodeId dst : it->second) send(dst, p.wire_bytes(), p);
+  cs.parked_requests.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Representatives and fetching (§4.5, §4.6)
+// --------------------------------------------------------------------------
+
+std::vector<NodeId> CanopusNode::current_reps() const {
+  const auto k = static_cast<std::size_t>(cfg_.representatives);
+  std::vector<NodeId> reps(sl_live_.begin(),
+                           sl_live_.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   std::min(k, sl_live_.size())));
+  return reps;
+}
+
+int CanopusNode::rep_index() const {
+  const auto reps = current_reps();
+  const auto it = std::find(reps.begin(), reps.end(), node_id());
+  return it == reps.end() ? -1 : static_cast<int>(it - reps.begin());
+}
+
+bool CanopusNode::is_representative() const { return rep_index() >= 0; }
+
+void CanopusNode::begin_fetches(CycleId c, RoundId r) {
+  CycleState& cs = cycle(c);
+  if (cs.rounds_done != r - 1 || cs.complete) return;
+  const int idx = rep_index();
+  if (idx < 0) return;
+
+  const auto reps = current_reps();
+  const int k = static_cast<int>(reps.size());
+  const int redundancy = std::min(cfg_.redundant_fetch, k);
+
+  for (VnodeId v : lot_->children(lot_->ancestor(node_id(), r))) {
+    if (cs.acc[r].contains(v)) continue;       // already have it
+    if (cs.fetches.contains(v)) continue;      // already fetching
+    // Modulo assignment with redundancy (§4.5): vnode v is fetched by
+    // representatives (v + j) % k for j in [0, redundancy).
+    bool mine = false;
+    for (int j = 0; j < redundancy && !mine; ++j)
+      mine = static_cast<int>((v + static_cast<VnodeId>(j)) %
+                              static_cast<VnodeId>(k)) == idx;
+    if (mine) issue_fetch(c, v);
+  }
+}
+
+void CanopusNode::issue_fetch(CycleId c, VnodeId v) {
+  CycleState& cs = cycle(c);
+  FetchState& fs = cs.fetches[v];
+
+  const auto emulators = emu_.emulators(v);
+  if (!emulators.empty()) {
+    // Spread across emulators deterministically; retries walk the list.
+    const std::size_t pick =
+        (mix(node_id(), v, c) + static_cast<std::size_t>(fs.attempt)) %
+        emulators.size();
+    proto::ProposalRequest pr;
+    pr.cycle = c;
+    pr.round = static_cast<RoundId>(lot_->level(v)) + 1;
+    pr.vnode = v;
+    send(emulators[pick], proto::ProposalRequest::kWire, pr);
+  }
+  // Whether or not an emulator was available, retry until the state
+  // arrives (add_proposal cancels the timer). If every descendant of v is
+  // gone, this retries forever: the protocol stalls, as specified (§6).
+  ++fs.attempt;
+  fs.timer = after(cfg_.fetch_timeout, [this, c, v] {
+    CycleState& s = cycle(c);
+    auto it = s.fetches.find(v);
+    if (it == s.fetches.end() || s.complete) return;
+    // Keep the FetchState (and its attempt counter) so the retry walks to
+    // the next emulator instead of re-picking the same possibly-dead one.
+    it->second.timer = simnet::kInvalidEvent;
+    issue_fetch(c, v);
+  });
+}
+
+void CanopusNode::handle_proposal_request(NodeId src,
+                                          const proto::ProposalRequest& pr) {
+  if (pr.cycle > last_started_) {
+    prompted_ = true;
+    maybe_start_next_cycle();  // §4.4: cross-super-leaf prompting
+  }
+  CycleState& cs = cycle(pr.cycle);
+  const auto r = static_cast<RoundId>(lot_->level(pr.vnode));
+  if (cs.rounds_done >= r && cs.state[r].has_value()) {
+    const proto::Proposal& p = *cs.state[r];
+    assert(p.vnode == pr.vnode);
+    send(src, p.wire_bytes(), p);
+  } else {
+    // §4.7 event 3: buffer the request, answer when the round completes.
+    cs.parked_requests[pr.vnode].push_back(src);
+  }
+}
+
+void CanopusNode::handle_fetched_proposal(const proto::Proposal& p) {
+  // A unicast reply to one of our proposal-requests: share it with the
+  // super-leaf via reliable broadcast (§4.2). Duplicate fetches by
+  // redundant representatives dedupe at add_proposal time.
+  CycleState& cs = cycle(p.cycle);
+  if (cs.acc[p.round].contains(p.vnode)) return;
+  if (auto it = cs.fetches.find(p.vnode); it != cs.fetches.end()) {
+    if (it->second.timer != simnet::kInvalidEvent)
+      sim().cancel(it->second.timer);
+    cs.fetches.erase(it);
+  }
+  rb_->broadcast(p, p.wire_bytes());
+}
+
+// --------------------------------------------------------------------------
+// Failure handling (§4.3, §4.6)
+// --------------------------------------------------------------------------
+
+void CanopusNode::handle_peer_failed(NodeId peer) {
+  if (crashed_) return;
+  if (peer == node_id()) {
+    // Our own super-leaf suspected us (we fell behind long enough for our
+    // broadcast group to elect a replacement leader). Crash-stop semantics
+    // require fencing: a suspected node must not keep acting, or the
+    // exclusion arguments of the agreement proof no longer hold.
+    crash();
+    return;
+  }
+  sl_live_.erase(std::remove(sl_live_.begin(), sl_live_.end(), peer),
+                 sl_live_.end());
+  rb_->remove_member(peer);
+  // Piggyback the membership change on the next cycle's proposal (§4.6).
+  pending_membership_.push_back(
+      {proto::MembershipUpdate::Kind::kLeave, peer});
+  // The exclusion may unblock round 1 of in-flight cycles, and may promote
+  // this node to representative (re-evaluate fetch assignments).
+  for (auto& [c, cs] : cycles_) {
+    if (!cs.started || cs.complete || cs.committed) continue;
+    try_complete_round(c, cs.rounds_done + 1);
+    if (!cs.complete) begin_fetches(c, cs.rounds_done + 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Commit (§5) and housekeeping
+// --------------------------------------------------------------------------
+
+void CanopusNode::try_commit() {
+  // §7.1: commits happen strictly in cycle order, regardless of which
+  // cycles completed first.
+  while (true) {
+    auto it = cycles_.find(last_committed_ + 1);
+    if (it == cycles_.end() || !it->second.complete || it->second.committed)
+      break;
+    commit_cycle(last_committed_ + 1);
+  }
+  maybe_start_next_cycle();
+  flush_replies();
+}
+
+void CanopusNode::commit_cycle(CycleId c) {
+  CycleState& cs = cycle(c);
+  const auto h = static_cast<std::size_t>(lot_->height());
+  const proto::Proposal& root = *cs.state[h];
+  const std::vector<kv::Request>& writes = *root.writes;
+  // Protocol CPU: applying this cycle's writes to the state machine.
+  net().busy(node_id(),
+             static_cast<Time>(writes.size()) * cfg_.cpu_per_write);
+
+  // Reads are spliced at `own_prefix + pos`: after the pos-th own write of
+  // this cycle, and before the next one — preserving each client's FIFO
+  // order while inheriting the global write order (§5).
+  auto next_read = cs.reads.begin();
+  for (std::size_t i = 0; i <= writes.size(); ++i) {
+    while (next_read != cs.reads.end() &&
+           cs.own_prefix + next_read->pos == i) {
+      serve_read(next_read->req);
+      ++next_read;
+    }
+    if (i == writes.size()) break;
+    const kv::Request& w = writes[i];
+    store_.apply(w);
+    digest_.append(w);
+    if (w.origin == node_id()) {
+      kv::Completion done{w.id, true, 0, w.arrival};
+      reply_buffer_[w.id.client].done.push_back(done);
+    }
+  }
+
+  // Membership updates agreed in this cycle take effect now, identically on
+  // every live node (§4.6).
+  for (const proto::MembershipUpdate& u : root.membership) {
+    if (u.kind == proto::MembershipUpdate::Kind::kLeave) {
+      emu_.remove(u.node);
+      if (u.node != node_id() && rb_->is_member(u.node)) {
+        rb_->remove_member(u.node);
+        sl_live_.erase(
+            std::remove(sl_live_.begin(), sl_live_.end(), u.node),
+            sl_live_.end());
+      }
+    } else {
+      emu_.add(u.node);
+    }
+  }
+
+  // Write leases granted by this cycle (§7.2).
+  if (cfg_.write_leases) {
+    for (const kv::Request& w : writes)
+      leases_[w.key] = c + cfg_.lease_cycles;
+  }
+
+  cs.committed = true;
+  last_committed_ = c;
+  if (on_commit) on_commit(c, writes);
+  prune_history();
+}
+
+void CanopusNode::prune_history() {
+  // Keep a window of committed cycles so that straggling super-leaves can
+  // still fetch our vnode states; beyond the window they would be stalled
+  // anyway (fetch_timeout * retries >> window * cycle time).
+  constexpr CycleId kKeep = 64;
+  while (!cycles_.empty()) {
+    auto it = cycles_.begin();
+    if (it->first + kKeep >= last_committed_ || !it->second.committed) break;
+    cycles_.erase(it);
+  }
+}
+
+}  // namespace canopus::core

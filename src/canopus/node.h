@@ -1,0 +1,192 @@
+// CanopusNode: one pnode running the full Canopus protocol.
+//
+// Responsibilities (paper section in parentheses):
+//  * consensus cycle / round state machine over the LOT (§4.2)
+//  * super-leaf reliable broadcast via per-node Raft groups (§4.3)
+//  * self-synchronization of cycle starts (§4.4)
+//  * representative selection + modulo vnode assignment + redundant
+//    fetching with emulator fallback (§4.5, §4.6)
+//  * emulation-table maintenance via piggybacked membership updates (§4.6)
+//  * linearizable reads by delaying them 1-2 cycles and splicing them into
+//    the node's own request-set positions (§5)
+//  * pipelining of consensus cycles with strictly ordered commits (§7.1)
+//  * optional write leases for immediate reads of uncontended keys (§7.2)
+//
+// A CanopusNode stalls — by design — when its super-leaf loses a majority
+// or when some vnode has no live emulators (§6 Liveness); it never returns
+// a wrong result.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "canopus/config.h"
+#include "canopus/lot.h"
+#include "canopus/messages.h"
+#include "kv/store.h"
+#include "kv/types.h"
+#include "rbcast/broadcast.h"
+#include "rbcast/rbcast.h"
+#include "simnet/network.h"
+
+namespace canopus::core {
+
+class CanopusNode : public simnet::Process {
+ public:
+  CanopusNode(std::shared_ptr<const lot::Lot> lot, Config cfg);
+
+  void on_start() override;
+  void on_message(const simnet::Message& m) override;
+
+  /// Local submission path for examples/tests (bypasses the client wire
+  /// protocol; replies surface via the commit hook only).
+  void submit(kv::Request r);
+
+  /// Crash-stop this node (also silences its broadcast groups).
+  void crash();
+
+  // --- observers --------------------------------------------------------
+  CycleId last_started_cycle() const { return last_started_; }
+  CycleId last_committed_cycle() const { return last_committed_; }
+  std::uint64_t committed_writes() const { return digest_.count(); }
+  std::uint64_t served_reads() const { return served_reads_; }
+  const kv::Store& store() const { return store_; }
+  const kv::CommitDigest& digest() const { return digest_; }
+  const lot::EmulationTable& emulation_table() const { return emu_; }
+  const lot::Lot& lot() const { return *lot_; }
+  bool is_representative() const;
+
+  /// Current failure-detector view of the own super-leaf (§4.3).
+  const std::vector<NodeId>& live_peers() const { return sl_live_; }
+
+  /// Fired at commit time with the cycle's globally ordered writes
+  /// (identical on every live node — the Agreement property).
+  std::function<void(CycleId, const std::vector<kv::Request>&)> on_commit;
+
+  /// Fired when a read is served, with the value returned to the client
+  /// (linearizability checkers hang off this).
+  std::function<void(const kv::Request&, std::uint64_t value)> on_read;
+
+  /// Diagnostics hooks (tests, tracing). May be null.
+  std::function<void(CycleId)> on_cycle_start;
+  std::function<void(CycleId)> on_cycle_complete;
+  std::function<void(CycleId, RoundId)> on_round_done;
+  std::function<void(CycleId, RoundId, VnodeId)> on_proposal_added;
+
+  /// Diagnostics counters (pipelining cadence analysis).
+  struct Debug {
+    std::uint64_t timer_fires = 0;
+    std::uint64_t starts_timer = 0;
+    std::uint64_t starts_batch_full = 0;
+    std::uint64_t starts_idle = 0;
+  };
+  const Debug& debug() const { return debug_; }
+
+ private:
+  struct PendingRead {
+    kv::Request req;
+    std::size_t pos = 0;  ///< # own writes buffered before this read
+  };
+
+  struct FetchState {
+    int attempt = 0;
+    simnet::EventId timer = simnet::kInvalidEvent;
+  };
+
+  struct CycleState {
+    bool started = false;
+    bool complete = false;
+    bool committed = false;
+    RoundId rounds_done = 0;
+    /// acc[r]: child-vnode states consumed by round r (keyed by vnode).
+    std::vector<std::map<VnodeId, proto::Proposal>> acc;
+    /// state[r]: merged state of the height-r ancestor; state[0] is the
+    /// node's own round-1 (leaf) proposal.
+    std::vector<std::optional<proto::Proposal>> state;
+    /// Reads snapshotted into this cycle, spliced at commit (§5).
+    std::vector<PendingRead> reads;
+    std::size_t own_writes = 0;
+    /// # writes globally ordered before this node's own request set —
+    /// accumulated during merges, used to position reads.
+    std::size_t own_prefix = 0;
+    /// Outstanding representative fetches, keyed by vnode.
+    std::map<VnodeId, FetchState> fetches;
+    /// Remote proposal-requests we could not answer yet (§4.7 event 3).
+    std::map<VnodeId, std::vector<NodeId>> parked_requests;
+  };
+
+  // --- message handlers ---------------------------------------------------
+  void handle_client_batch(const kv::ClientBatch& batch);
+  void handle_proposal_request(NodeId src, const proto::ProposalRequest& pr);
+  void handle_fetched_proposal(const proto::Proposal& p);
+  void handle_rb_deliver(NodeId origin, const std::any& payload);
+  void handle_peer_failed(NodeId peer);
+
+  // --- cycle machinery ----------------------------------------------------
+  CycleState& cycle(CycleId c);
+  void maybe_start_next_cycle(bool timer_fired = false);
+  void start_cycle(CycleId c);
+  void add_proposal(CycleId c, const proto::Proposal& p);
+  void try_complete_round(CycleId c, RoundId r);
+  void complete_round(CycleId c, RoundId r);
+  void begin_fetches(CycleId c, RoundId r);
+  void issue_fetch(CycleId c, VnodeId v);
+  void answer_parked(CycleId c, RoundId r);
+  void try_commit();
+  void commit_cycle(CycleId c);
+  void prune_history();
+  void arm_pipeline_timer();
+
+  // --- reads & leases (§5, §7.2) -------------------------------------------
+  void enqueue_read(kv::Request r);
+  void serve_read(const kv::Request& r);
+  bool lease_active(std::uint64_t key) const;
+
+  void flush_replies();
+  std::vector<NodeId> current_reps() const;
+  int rep_index() const;  ///< position among reps, or -1
+
+  std::shared_ptr<const lot::Lot> lot_;
+  Config cfg_;
+  lot::EmulationTable emu_;
+  std::unique_ptr<rbcast::Broadcast> rb_;
+
+  /// Local, failure-detector-driven view of the own super-leaf's live
+  /// members (exclusions are consistently ordered by the no-op-commit rule,
+  /// see rbcast.cpp). The emulation table is updated only at cycle commits.
+  std::vector<NodeId> sl_live_;
+
+  std::vector<kv::Request> pending_writes_;
+  std::vector<PendingRead> pending_reads_;
+  std::vector<proto::MembershipUpdate> pending_membership_;
+
+  std::map<CycleId, CycleState> cycles_;
+  CycleId last_started_ = 0;
+  CycleId last_committed_ = 0;
+  /// Outside prompting seen for a not-yet-started cycle (§4.4).
+  bool prompted_ = false;
+
+  kv::Store store_;
+  kv::CommitDigest digest_;
+  std::uint64_t served_reads_ = 0;
+
+  /// key -> last cycle in which its write lease is active (§7.2).
+  std::unordered_map<std::uint64_t, CycleId> leases_;
+
+  /// Per-client completions accumulated during a commit, flushed as one
+  /// ReplyBatch per client.
+  std::unordered_map<NodeId, kv::ReplyBatch> reply_buffer_;
+
+  simnet::EventId pipeline_timer_ = simnet::kInvalidEvent;
+  bool crashed_ = false;
+  /// Consecutive cycles this node started with nothing to propose; bounds
+  /// idle pipeline churn (see maybe_start_next_cycle).
+  std::size_t empty_streak_ = 0;
+  Debug debug_;
+};
+
+}  // namespace canopus::core

@@ -1,0 +1,14 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace canopus {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace canopus

@@ -1,0 +1,58 @@
+// Core identifier and time types shared by every module.
+//
+// All simulation time is in integer nanoseconds (`Time`). Using a single
+// integral clock keeps the discrete-event core exact and deterministic:
+// two runs with the same seed produce bit-identical traces.
+#pragma once
+
+#include <cstdint>
+
+namespace canopus {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Identifies a physical node (a LOT pnode, a Raft peer, a Zab server...).
+/// Node ids are dense indices assigned by the topology builder.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Identifies a client session. Clients are not nodes; they attach to a node.
+using ClientId = std::uint32_t;
+
+/// Monotonically increasing consensus cycle number (§4.2).
+using CycleId = std::uint64_t;
+
+/// Round number within a consensus cycle: 1..h for a height-h LOT.
+using RoundId = std::uint32_t;
+
+/// A LOT virtual-node id. Vnodes are labelled by their position in the
+/// tree ("1", "1.1", "1.1.2", ...); we encode the path as an integer, see
+/// canopus/lot.h. Leaf vnode ids coincide with pnode ids offset into the
+/// same space.
+using VnodeId = std::uint64_t;
+
+/// Globally unique request id: (client, per-client sequence number).
+/// The default client is invalid so that locally-submitted test requests
+/// never masquerade as belonging to node 0.
+struct RequestId {
+  ClientId client = kInvalidNode;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const RequestId&, const RequestId&) = default;
+  friend auto operator<=>(const RequestId&, const RequestId&) = default;
+};
+
+}  // namespace canopus
+
+template <>
+struct std::hash<canopus::RequestId> {
+  std::size_t operator()(const canopus::RequestId& r) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{r.client} << 40) ^ r.seq);
+  }
+};

@@ -1,0 +1,179 @@
+#include "epaxos/epaxos.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace canopus::epaxos {
+
+EPaxosNode::EPaxosNode(std::vector<NodeId> replicas, Config cfg)
+    : replicas_(std::move(replicas)), cfg_(cfg) {}
+
+void EPaxosNode::on_start() {}
+
+std::size_t EPaxosNode::fast_quorum() const {
+  // EPaxos fast-path quorum: F + floor((F+1)/2) for N = 2F+1.
+  const std::size_t n = replicas_.size();
+  const std::size_t f = (n - 1) / 2;
+  return f + (f + 1) / 2;
+}
+
+void EPaxosNode::submit(kv::Request r) {
+  r.origin = node_id();
+  pending_.push_back(r);
+  if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    after(cfg_.batch_interval, [this] {
+      batch_timer_armed_ = false;
+      flush_batch();
+    });
+  }
+}
+
+void EPaxosNode::on_message(const simnet::Message& m) {
+  if (const auto* batch = m.as<kv::ClientBatch>()) {
+    for (const kv::Request& r : batch->reqs) submit(r);
+  } else if (const auto* pa = m.as<PreAccept>()) {
+    handle_pre_accept(m.src(), *pa);
+  } else if (const auto* ok = m.as<PreAcceptOk>()) {
+    handle_pre_accept_ok(*ok);
+  } else if (const auto* c = m.as<Commit>()) {
+    handle_commit(*c);
+  }
+}
+
+void EPaxosNode::flush_batch() {
+  if (pending_.empty()) return;
+
+  const InstanceId id{node_id(), next_seq_++};
+  net().busy(node_id(), static_cast<Time>(pending_.size()) *
+                            cfg_.cpu_per_command);
+  Instance& inst = instances_[id];
+  inst.batch = std::make_shared<const std::vector<kv::Request>>(
+      std::move(pending_));
+  pending_.clear();
+  inst.own = true;
+  inst.oks = 1;  // self
+
+  // Interference model: with probability cfg_.interference the instance
+  // conflicts with all currently active interfering instances and must
+  // carry them as dependencies (the paper evaluates at 0 -> always empty).
+  if (cfg_.interference > 0 &&
+      sim().rng().uniform() < cfg_.interference) {
+    inst.deps = active_interfering_;
+    active_interfering_.push_back(id);
+  }
+
+  PreAccept pa{id, inst.batch, inst.deps};
+  for (NodeId peer : replicas_) {
+    if (peer != node_id()) send(peer, pa.wire_bytes(), pa);
+  }
+  if (replicas_.size() == 1) {
+    inst.committed = true;
+    try_execute(id);
+  }
+}
+
+void EPaxosNode::handle_pre_accept(NodeId src, const PreAccept& pa) {
+  Instance& inst = instances_[pa.id];
+  inst.batch = pa.batch;
+  inst.deps = pa.deps;
+  net().busy(node_id(),
+             static_cast<Time>(pa.batch ? pa.batch->size() : 0) *
+                 cfg_.cpu_per_command);
+  // Zero-interference fast path: the acceptor sees no conflicting
+  // instances, so it echoes the dependencies unchanged and the leader's
+  // fast quorum check succeeds.
+  PreAcceptOk ok{pa.id, pa.deps};
+  send(src, ok.wire_bytes(), ok);
+}
+
+void EPaxosNode::handle_pre_accept_ok(const PreAcceptOk& ok) {
+  auto it = instances_.find(ok.id);
+  if (it == instances_.end() || it->second.committed) return;
+  Instance& inst = it->second;
+  ++inst.oks;
+  if (static_cast<std::size_t>(inst.oks) >= fast_quorum()) {
+    inst.committed = true;
+    Commit c{ok.id, inst.deps};
+    for (NodeId peer : replicas_) {
+      if (peer != node_id()) send(peer, c.wire_bytes(), c);
+    }
+    try_execute(ok.id);
+  }
+}
+
+void EPaxosNode::handle_commit(const Commit& c) {
+  Instance& inst = instances_[c.id];
+  inst.deps = c.deps;
+  inst.committed = true;
+  try_execute(c.id);
+  // A commit may unblock parked instances; retry until a fixed point.
+  bool progress = true;
+  while (progress && !blocked_.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < blocked_.size();) {
+      if (try_execute(blocked_[i])) {
+        blocked_[i] = blocked_.back();
+        blocked_.pop_back();
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool EPaxosNode::try_execute(const InstanceId& id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return true;  // pruned == long executed
+  if (!it->second.committed) return false;
+  if (it->second.executed) return true;
+  for (const InstanceId& dep : it->second.deps) {
+    auto dit = instances_.find(dep);
+    if (dit != instances_.end() && !dit->second.committed) {
+      if (std::find(blocked_.begin(), blocked_.end(), id) == blocked_.end())
+        blocked_.push_back(id);
+      return false;
+    }
+  }
+  // Dependencies all committed: execute them first in InstanceId order
+  // (our stand-in for EPaxos' SCC/seq execution order), then self.
+  for (const InstanceId& dep : it->second.deps) {
+    auto dit = instances_.find(dep);
+    if (dit != instances_.end() && !dit->second.executed && dep < id)
+      execute(dep);
+  }
+  execute(id);
+  return true;
+}
+
+void EPaxosNode::execute(const InstanceId& id) {
+  Instance& inst = instances_[id];
+  if (inst.executed || !inst.batch) return;
+  inst.executed = true;
+
+  for (const kv::Request& r : *inst.batch) {
+    if (r.is_write) {
+      store_.apply(r);
+      digest_.append(r);
+    }
+    ++executed_;
+    if (inst.own && r.origin == node_id() && r.id.client != kInvalidNode) {
+      kv::Completion done{r.id, r.is_write,
+                          r.is_write ? 0 : store_.read(r.key), r.arrival};
+      reply_buffer_[r.id.client].done.push_back(done);
+    }
+  }
+  active_interfering_.erase(
+      std::remove(active_interfering_.begin(), active_interfering_.end(), id),
+      active_interfering_.end());
+  if (on_execute) on_execute(*inst.batch);
+  inst.batch.reset();  // executed batches are dead weight
+
+  for (auto& [client, batch] : reply_buffer_) {
+    if (!batch.done.empty()) send(client, batch.wire_bytes(), std::move(batch));
+  }
+  reply_buffer_.clear();
+}
+
+}  // namespace canopus::epaxos

@@ -1,0 +1,57 @@
+// Replicated key-value state machine + commit audit trail.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kv/types.h"
+
+namespace canopus::kv {
+
+/// The state machine every replica applies committed writes to.
+class Store {
+ public:
+  void apply(const Request& w) {
+    if (w.is_write) map_[w.key] = w.value;
+  }
+
+  std::uint64_t read(std::uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+/// Rolling digest of the committed write sequence. Two replicas that applied
+/// the same writes in the same order have equal digests — integration tests
+/// use this to assert the paper's Agreement property cheaply.
+class CommitDigest {
+ public:
+  void append(const Request& w) {
+    // FNV-1a over the identifying fields.
+    auto mix = [this](std::uint64_t x) {
+      hash_ ^= x;
+      hash_ *= 0x100000001b3ULL;
+    };
+    mix(w.id.client);
+    mix(w.id.seq);
+    mix(w.key);
+    mix(w.value);
+    ++count_;
+  }
+
+  std::uint64_t value() const { return hash_; }
+  std::uint64_t count() const { return count_; }
+
+  friend bool operator==(const CommitDigest&, const CommitDigest&) = default;
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace canopus::kv

@@ -1,0 +1,47 @@
+// Client-visible request/reply types shared by every consensus system in
+// this repository (Canopus, EPaxos, Zab/ZKCanopus). Keeping the client
+// protocol identical across systems is what makes the paper's comparisons
+// apples-to-apples (§8's ZKCanopus methodology).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canopus::kv {
+
+/// One key-value operation. The paper's workload uses 16-byte key-value
+/// pairs drawn from 1M keys.
+struct Request {
+  RequestId id;
+  bool is_write = false;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;  ///< payload for writes
+  NodeId origin = kInvalidNode;  ///< server that received it from the client
+  Time arrival = 0;  ///< client-side submit time (measurement only)
+};
+
+/// Wire footprint of one request: 16-byte KV pair + ids + flags.
+inline constexpr std::size_t kRequestWire = 40;
+
+/// Open-loop clients aggregate same-tick arrivals into one batch message.
+struct ClientBatch {
+  std::vector<Request> reqs;
+  std::size_t wire_bytes() const { return 24 + kRequestWire * reqs.size(); }
+};
+
+/// A finished request going back to its client.
+struct Completion {
+  RequestId id;
+  bool is_write = false;
+  std::uint64_t value = 0;  ///< read result (0 for writes)
+  Time arrival = 0;
+};
+
+struct ReplyBatch {
+  std::vector<Completion> done;
+  std::size_t wire_bytes() const { return 24 + 24 * done.size(); }
+};
+
+}  // namespace canopus::kv

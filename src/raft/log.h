@@ -1,0 +1,58 @@
+// Raft replicated log types.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canopus::raft {
+
+using Term = std::uint64_t;
+using LogIndex = std::uint64_t;  // 1-based; 0 means "before the log"
+using GroupId = std::uint64_t;
+
+/// A single replicated log entry. The payload is type-erased so that any
+/// layer (reliable broadcast, a KV service, a test) can replicate its own
+/// record type; `bytes` is the payload's wire size for the network model.
+struct LogEntry {
+  Term term = 0;
+  std::any payload;
+  std::size_t bytes = 0;
+  /// Leader-election no-op (the standard fix that lets a new leader commit
+  /// entries from prior terms, Raft §5.4.2). Never surfaced via on_commit.
+  bool is_noop = false;
+  /// For no-ops: the leader that appended it. Layers above use the commit
+  /// of a no-op as a *consistent* leadership-change point: it is totally
+  /// ordered (in the log) with every entry the previous leader managed to
+  /// commit, on every member.
+  NodeId leader = kInvalidNode;
+};
+
+/// The log itself: entries plus helpers for the AppendEntries consistency
+/// check. Index 1 is entries_[0].
+class Log {
+ public:
+  LogIndex last_index() const { return entries_.size(); }
+  Term last_term() const {
+    return entries_.empty() ? 0 : entries_.back().term;
+  }
+  Term term_at(LogIndex i) const {
+    return i == 0 || i > entries_.size() ? 0 : entries_[i - 1].term;
+  }
+  const LogEntry& at(LogIndex i) const { return entries_[i - 1]; }
+
+  void append(LogEntry e) { entries_.push_back(std::move(e)); }
+
+  /// Truncates the log so that last_index() == i.
+  void truncate_after(LogIndex i) { entries_.resize(i); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace canopus::raft

@@ -1,0 +1,53 @@
+// Raft wire messages. All four RPCs are modelled as asynchronous messages
+// (request and response are separate Messages on the simulated network).
+#pragma once
+
+#include <vector>
+
+#include "raft/log.h"
+
+namespace canopus::raft {
+
+enum class MsgType {
+  kRequestVote,
+  kVoteReply,
+  kAppendEntries,  // doubles as heartbeat when entries is empty
+  kAppendReply,
+  /// Not part of Raft proper: sent by the reliable-broadcast layer when it
+  /// receives traffic for a group it has already dissolved (§4.3 "all the
+  /// nodes leave that group"). Tells stragglers to finish applying their
+  /// local log for the group and dissolve it too.
+  kGroupDissolved,
+};
+
+struct WireMsg {
+  GroupId group = 0;
+  MsgType type = MsgType::kAppendEntries;
+  Term term = 0;
+
+  // RequestVote
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+
+  // VoteReply
+  bool vote_granted = false;
+
+  // AppendEntries
+  LogIndex prev_log_index = 0;
+  Term prev_log_term = 0;
+  LogIndex leader_commit = 0;
+  std::vector<LogEntry> entries;
+
+  // AppendReply
+  bool success = false;
+  LogIndex match_index = 0;
+
+  /// Wire size estimate: fixed header + payload bytes of carried entries.
+  std::size_t wire_bytes() const {
+    std::size_t b = 64;
+    for (const LogEntry& e : entries) b += 16 + e.bytes;
+    return b;
+  }
+};
+
+}  // namespace canopus::raft

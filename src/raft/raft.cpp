@@ -1,0 +1,403 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace canopus::raft {
+
+RaftNode::RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
+                   simnet::Simulator& sim, Callbacks cb, Options opt)
+    : group_(group),
+      self_(self),
+      members_(std::move(members)),
+      sim_(sim),
+      cb_(std::move(cb)),
+      opt_(opt) {
+  assert(std::find(members_.begin(), members_.end(), self_) != members_.end());
+  next_index_.assign(members_.size(), 1);
+  match_index_.assign(members_.size(), 0);
+  sent_up_to_.assign(members_.size(), 0);
+  last_progress_.assign(members_.size(), 0);
+  last_repair_.assign(members_.size(), 0);
+}
+
+RaftNode::~RaftNode() { stop_timers(); }
+
+void RaftNode::start(bool bootstrap_as_leader) {
+  stopped_ = false;
+  if (bootstrap_as_leader) {
+    term_ = 1;
+    become_leader(/*append_noop=*/false);
+  } else {
+    become_follower(term_);
+  }
+}
+
+void RaftNode::stop() {
+  stopped_ = true;
+  stop_timers();
+}
+
+void RaftNode::stop_timers() {
+  if (election_timer_ != simnet::kInvalidEvent) {
+    sim_.cancel(election_timer_);
+    election_timer_ = simnet::kInvalidEvent;
+  }
+  if (heartbeat_timer_ != simnet::kInvalidEvent) {
+    sim_.cancel(heartbeat_timer_);
+    heartbeat_timer_ = simnet::kInvalidEvent;
+  }
+}
+
+Time RaftNode::time_since_leader_contact() const {
+  return sim_.now() - last_leader_contact_;
+}
+
+void RaftNode::reset_election_timer() {
+  if (election_timer_ != simnet::kInvalidEvent) sim_.cancel(election_timer_);
+  const Time span = opt_.election_timeout_max - opt_.election_timeout_min;
+  const Time timeout =
+      opt_.election_timeout_min +
+      (span > 0 ? static_cast<Time>(sim_.rng().below(
+                      static_cast<std::uint64_t>(span)))
+                : 0);
+  election_timer_ = sim_.after(timeout, [this] { become_candidate(); });
+}
+
+void RaftNode::become_follower(Term term) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = kInvalidNode;
+  }
+  role_ = Role::kFollower;
+  if (heartbeat_timer_ != simnet::kInvalidEvent) {
+    sim_.cancel(heartbeat_timer_);
+    heartbeat_timer_ = simnet::kInvalidEvent;
+  }
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate() {
+  if (stopped_) return;
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = self_;
+  votes_.clear();
+  votes_.insert(self_);
+  reset_election_timer();
+
+  if (votes_.size() >= quorum()) {  // single-member group
+    become_leader(/*append_noop=*/true);
+    return;
+  }
+  WireMsg m;
+  m.group = group_;
+  m.type = MsgType::kRequestVote;
+  m.term = term_;
+  m.last_log_index = log_.last_index();
+  m.last_log_term = log_.last_term();
+  for (NodeId peer : members_) {
+    if (peer != self_) cb_.send(peer, m);
+  }
+}
+
+void RaftNode::become_leader(bool append_noop) {
+  role_ = Role::kLeader;
+  leader_ = self_;
+  if (election_timer_ != simnet::kInvalidEvent) {
+    sim_.cancel(election_timer_);
+    election_timer_ = simnet::kInvalidEvent;
+  }
+  if (append_noop) {
+    // Raft §5.4.2: entries from prior terms are only committed indirectly,
+    // by committing an entry of the current term on top of them.
+    log_.append(LogEntry{term_, {}, 0, /*is_noop=*/true, self_});
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    next_index_[i] = log_.last_index() + 1;
+    match_index_[i] = members_[i] == self_ ? log_.last_index() : 0;
+    sent_up_to_[i] = 0;  // nothing sent yet in this term
+  }
+  advance_commit();  // single-member group: the no-op commits immediately
+  if (cb_.on_leader_change) cb_.on_leader_change(self_, term_);
+  broadcast_heartbeats();
+}
+
+void RaftNode::broadcast_heartbeats() {
+  if (stopped_ || role_ != Role::kLeader) return;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const NodeId peer = members_[i];
+    if (peer == self_) continue;
+    if (match_index_[i] < log_.last_index() &&
+        sim_.now() - std::max(last_progress_[i], last_repair_[i]) >=
+            opt_.repair_timeout) {
+      // The peer made no replication progress for a while: repair with a
+      // full retransmit. Merely-slow peers keep advancing match_index and
+      // are never retransmitted to — that would only deepen their backlog.
+      last_repair_[i] = sim_.now();
+      send_append(peer);
+    } else {
+      notify_commit(peer);  // pure liveness + commit index
+    }
+  }
+  heartbeat_timer_ =
+      sim_.after(opt_.heartbeat_interval, [this] { broadcast_heartbeats(); });
+}
+
+void RaftNode::send_append(NodeId peer) {
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), peer) - members_.begin());
+  WireMsg m;
+  m.group = group_;
+  m.type = MsgType::kAppendEntries;
+  m.term = term_;
+  m.prev_log_index = next_index_[pos] - 1;
+  m.prev_log_term = log_.term_at(m.prev_log_index);
+  m.leader_commit = commit_;
+  for (LogIndex i = next_index_[pos]; i <= log_.last_index(); ++i)
+    m.entries.push_back(log_.at(i));
+  sent_up_to_[pos] = log_.last_index();
+  cb_.send(peer, m);
+}
+
+void RaftNode::send_new_entries(NodeId peer) {
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), peer) - members_.begin());
+  const LogIndex start =
+      std::max(next_index_[pos], sent_up_to_[pos] + 1);
+  if (start > log_.last_index()) return;  // nothing new on the wire
+  WireMsg m;
+  m.group = group_;
+  m.type = MsgType::kAppendEntries;
+  m.term = term_;
+  m.prev_log_index = start - 1;
+  m.prev_log_term = log_.term_at(m.prev_log_index);
+  m.leader_commit = commit_;
+  for (LogIndex i = start; i <= log_.last_index(); ++i)
+    m.entries.push_back(log_.at(i));
+  sent_up_to_[pos] = log_.last_index();
+  cb_.send(peer, m);
+}
+
+void RaftNode::notify_commit(NodeId peer) {
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), peer) - members_.begin());
+  WireMsg m;
+  m.group = group_;
+  m.type = MsgType::kAppendEntries;
+  m.term = term_;
+  // Anchor at the peer's known-replicated index so the consistency check
+  // always passes; no payload travels.
+  m.prev_log_index = match_index_[pos];
+  m.prev_log_term = log_.term_at(m.prev_log_index);
+  m.leader_commit = commit_;
+  cb_.send(peer, m);
+}
+
+std::optional<LogIndex> RaftNode::propose(std::any payload,
+                                          std::size_t bytes) {
+  if (stopped_ || role_ != Role::kLeader) return std::nullopt;
+  log_.append(LogEntry{term_, std::move(payload), bytes});
+  const LogIndex idx = log_.last_index();
+  const auto self_pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), self_) - members_.begin());
+  match_index_[self_pos] = idx;
+  next_index_[self_pos] = idx + 1;
+  for (NodeId peer : members_) {
+    if (peer != self_) send_new_entries(peer);
+  }
+  advance_commit();  // single-member groups commit immediately
+  return idx;
+}
+
+void RaftNode::on_message(NodeId src, const WireMsg& m) {
+  if (stopped_) return;
+  if (m.term > term_) become_follower(m.term);
+  switch (m.type) {
+    case MsgType::kRequestVote:
+      handle_request_vote(src, m);
+      break;
+    case MsgType::kVoteReply:
+      handle_vote_reply(src, m);
+      break;
+    case MsgType::kAppendEntries:
+      handle_append_entries(src, m);
+      break;
+    case MsgType::kAppendReply:
+      handle_append_reply(src, m);
+      break;
+    case MsgType::kGroupDissolved:
+      break;  // handled by the layer above (rbcast)
+  }
+}
+
+void RaftNode::handle_request_vote(NodeId src, const WireMsg& m) {
+  WireMsg reply;
+  reply.group = group_;
+  reply.type = MsgType::kVoteReply;
+  reply.term = term_;
+  reply.vote_granted = false;
+
+  const bool log_ok =
+      m.last_log_term > log_.last_term() ||
+      (m.last_log_term == log_.last_term() &&
+       m.last_log_index >= log_.last_index());
+  if (m.term >= term_ && log_ok &&
+      (voted_for_ == kInvalidNode || voted_for_ == src)) {
+    voted_for_ = src;
+    reply.vote_granted = true;
+    reset_election_timer();
+  }
+  cb_.send(src, reply);
+}
+
+void RaftNode::handle_vote_reply(NodeId src, const WireMsg& m) {
+  if (role_ != Role::kCandidate || m.term != term_ || !m.vote_granted) return;
+  votes_.insert(src);
+  if (votes_.size() >= quorum()) become_leader(/*append_noop=*/true);
+}
+
+void RaftNode::handle_append_entries(NodeId src, const WireMsg& m) {
+  WireMsg reply;
+  reply.group = group_;
+  reply.type = MsgType::kAppendReply;
+  reply.term = term_;
+  reply.success = false;
+
+  if (m.term < term_) {
+    cb_.send(src, reply);
+    return;
+  }
+  // Valid leader for this term.
+  if (role_ != Role::kFollower) become_follower(m.term);
+  if (leader_ != src) {
+    leader_ = src;
+    if (cb_.on_leader_change) cb_.on_leader_change(src, term_);
+  }
+  last_leader_contact_ = sim_.now();
+  reset_election_timer();
+
+  // Consistency check.
+  if (m.prev_log_index > log_.last_index() ||
+      log_.term_at(m.prev_log_index) != m.prev_log_term) {
+    cb_.send(src, reply);
+    return;
+  }
+
+  // Append/repair: drop conflicting suffix, append new entries.
+  LogIndex idx = m.prev_log_index;
+  for (const LogEntry& e : m.entries) {
+    ++idx;
+    if (idx <= log_.last_index()) {
+      if (log_.term_at(idx) == e.term) continue;  // already have it
+      log_.truncate_after(idx - 1);
+    }
+    log_.append(e);
+  }
+
+  if (m.leader_commit > commit_) {
+    commit_ = std::min(m.leader_commit, log_.last_index());
+    apply_committed();
+  }
+
+  reply.success = true;
+  reply.match_index = m.prev_log_index + m.entries.size();
+  cb_.send(src, reply);
+}
+
+void RaftNode::handle_append_reply(NodeId src, const WireMsg& m) {
+  if (role_ != Role::kLeader || m.term != term_) return;
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), src) - members_.begin());
+  if (pos >= members_.size()) return;
+  if (m.success) {
+    if (m.match_index > match_index_[pos]) {
+      match_index_[pos] = m.match_index;
+      last_progress_[pos] = sim_.now();
+    }
+    next_index_[pos] = std::max(next_index_[pos], match_index_[pos] + 1);
+    advance_commit();
+  } else {
+    // Back off and retry the consistency check one entry earlier.
+    if (next_index_[pos] > 1) --next_index_[pos];
+    sent_up_to_[pos] = next_index_[pos] - 1;
+    send_append(src);
+  }
+}
+
+void RaftNode::remove_member(NodeId peer) {
+  const auto it = std::find(members_.begin(), members_.end(), peer);
+  if (it == members_.end()) return;
+  const auto pos = static_cast<std::size_t>(it - members_.begin());
+  members_.erase(it);
+  next_index_.erase(next_index_.begin() + static_cast<std::ptrdiff_t>(pos));
+  match_index_.erase(match_index_.begin() + static_cast<std::ptrdiff_t>(pos));
+  sent_up_to_.erase(sent_up_to_.begin() + static_cast<std::ptrdiff_t>(pos));
+  last_progress_.erase(last_progress_.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+  last_repair_.erase(last_repair_.begin() + static_cast<std::ptrdiff_t>(pos));
+  votes_.erase(peer);
+  if (peer == self_) {
+    stop();
+    return;
+  }
+  // The quorum shrank: entries may now be committed.
+  if (role_ == Role::kLeader) advance_commit();
+}
+
+void RaftNode::add_member(NodeId peer) {
+  if (std::find(members_.begin(), members_.end(), peer) != members_.end())
+    return;
+  members_.push_back(peer);
+  next_index_.push_back(log_.last_index() + 1);
+  match_index_.push_back(0);
+  sent_up_to_.push_back(0);
+  last_progress_.push_back(sim_.now());
+  last_repair_.push_back(0);
+}
+
+void RaftNode::force_commit_all() {
+  if (log_.last_index() > commit_) {
+    commit_ = log_.last_index();
+    apply_committed();
+  }
+}
+
+void RaftNode::advance_commit() {
+  // Find the highest N replicated on a quorum with log term == current term.
+  for (LogIndex n = log_.last_index(); n > commit_; --n) {
+    if (log_.term_at(n) != term_) break;
+    std::size_t count = 0;
+    for (LogIndex mi : match_index_) {
+      if (mi >= n) ++count;
+    }
+    if (count >= quorum()) {
+      commit_ = n;
+      apply_committed();
+      // Propagate the new commit index immediately instead of waiting for
+      // the next heartbeat — followers deliver with one extra half-RTT
+      // rather than up to a full heartbeat interval. Entries already on
+      // the wire are NOT retransmitted (see sent_up_to_).
+      if (role_ == Role::kLeader) {
+        for (NodeId peer : members_) {
+          if (peer != self_) notify_commit(peer);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void RaftNode::apply_committed() {
+  while (applied_ < commit_) {
+    ++applied_;
+    const LogEntry& e = log_.at(applied_);
+    if (e.is_noop) {
+      if (cb_.on_noop_commit) cb_.on_noop_commit(e.leader, e.term);
+    } else if (cb_.on_commit) {
+      cb_.on_commit(applied_, e);
+    }
+  }
+}
+
+}  // namespace canopus::raft

@@ -1,0 +1,178 @@
+// RaftNode: one member of one Raft group.
+//
+// This is a full crash-stop Raft (Ongaro & Ousterhout, USENIX ATC '14):
+// randomized election timeouts, term-checked voting with the up-to-date-log
+// rule, AppendEntries with the consistency check and follower log repair,
+// quorum commit advancement, and heartbeats.
+//
+// It is deliberately NOT a simnet::Process: a single physical node hosts
+// many protocol components (Canopus runs one Raft group per super-leaf
+// member, §4.3), so the owning Process routes WireMsgs to the right group
+// and supplies a send callback. This also keeps RaftNode reusable outside
+// the simulator behind any transport.
+//
+// Canopus-specific usage notes (§4.3, §4.5):
+//  * For reliable broadcast, every super-leaf member creates a group where
+//    it is the bootstrap leader and its peers are followers; broadcasting is
+//    proposing to one's own group.
+//  * The heartbeat/election machinery doubles as the paper's failure
+//    detector inside a super-leaf.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "raft/messages.h"
+#include "simnet/simulator.h"
+
+namespace canopus::raft {
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+struct Options {
+  Time heartbeat_interval = 15 * kMillisecond;
+  Time election_timeout_min = 150 * kMillisecond;
+  Time election_timeout_max = 300 * kMillisecond;
+  /// Minimum quiet time (no replication progress and no recent retransmit)
+  /// before a heartbeat escalates to a full log retransmit for a lagging
+  /// peer. Protects briefly-backlogged peers from a retransmit spiral
+  /// while still repairing genuinely lossy/recovered followers.
+  Time repair_timeout = 75 * kMillisecond;
+};
+
+class RaftNode {
+ public:
+  struct Callbacks {
+    /// Transport: deliver `msg` to peer `dst` (the owner computes wire bytes
+    /// via msg.wire_bytes() and sends it through its network).
+    std::function<void(NodeId dst, const WireMsg& msg)> send;
+    /// Applied exactly once per committed entry, in log order, on every
+    /// live member.
+    std::function<void(LogIndex, const LogEntry&)> on_commit;
+    /// Leadership changes (elections, discovered leaders). May be null.
+    std::function<void(NodeId leader, Term term)> on_leader_change;
+    /// Fired when an election no-op commits, identifying the leader that
+    /// appended it. Unlike on_leader_change this is log-ordered: every
+    /// member observes it at the same position relative to committed
+    /// entries, which makes it usable as an agreed failure-detection point
+    /// (Canopus §4.3/§4.6 exclusion semantics). May be null.
+    std::function<void(NodeId leader, Term term)> on_noop_commit;
+  };
+
+  RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
+           simnet::Simulator& sim, Callbacks cb, Options opt = {});
+  ~RaftNode();
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Starts the node. If `bootstrap_as_leader`, the node assumes leadership
+  /// of term 1 immediately (used for the per-node broadcast groups where
+  /// the initial leader is fixed by construction, §4.3).
+  void start(bool bootstrap_as_leader = false);
+
+  /// Stops all timers (models a crash; a stopped node ignores messages).
+  void stop();
+  bool stopped() const { return stopped_; }
+
+  /// Proposes a payload for replication. Returns the assigned log index if
+  /// this node is the leader, std::nullopt otherwise.
+  std::optional<LogIndex> propose(std::any payload, std::size_t bytes);
+
+  /// Feeds an incoming wire message (already routed to this group).
+  void on_message(NodeId src, const WireMsg& m);
+
+  /// Single-server membership change: removes `peer` from the group.
+  /// The caller is responsible for invoking this at an agreed point on all
+  /// live members (Canopus applies membership updates at the end of the
+  /// consensus cycle that carried them, §4.6). Quorum size shrinks
+  /// accordingly; removing self stops the node.
+  void remove_member(NodeId peer);
+
+  /// Single-server membership change: adds `peer` to the group. The new
+  /// follower's log is repaired by the ordinary AppendEntries backoff.
+  void add_member(NodeId peer);
+
+  /// Applies every entry in the local log. Only safe when an external
+  /// signal guarantees the whole log is committed — the reliable-broadcast
+  /// layer uses this on dissolution gossip, where the dissolver's no-op
+  /// commit implies this node's log (which acked it) is complete.
+  void force_commit_all();
+
+  // --- observers -------------------------------------------------------
+  Role role() const { return role_; }
+  bool is_leader() const { return role_ == Role::kLeader; }
+  NodeId leader_hint() const { return leader_; }
+  Term term() const { return term_; }
+  LogIndex commit_index() const { return commit_; }
+  LogIndex last_index() const { return log_.last_index(); }
+  GroupId group() const { return group_; }
+  NodeId self() const { return self_; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Time since the last message from the current leader (failure-detector
+  /// input for the layers above).
+  Time time_since_leader_contact() const;
+
+ private:
+  void become_follower(Term term);
+  void become_candidate();
+  void become_leader(bool append_noop);
+  void reset_election_timer();
+  void stop_timers();
+  void broadcast_heartbeats();
+  /// Full repair send: (re)transmits everything from next_index. Used on
+  /// nack, on heartbeat for lagging peers, and on leader election.
+  void send_append(NodeId peer);
+  /// Steady-state send: only entries not yet put on the wire for this peer.
+  void send_new_entries(NodeId peer);
+  /// Cheap commit-index notification (no entries, prev = match index).
+  void notify_commit(NodeId peer);
+  void advance_commit();
+  void apply_committed();
+  std::size_t quorum() const { return members_.size() / 2 + 1; }
+
+  void handle_request_vote(NodeId src, const WireMsg& m);
+  void handle_vote_reply(NodeId src, const WireMsg& m);
+  void handle_append_entries(NodeId src, const WireMsg& m);
+  void handle_append_reply(NodeId src, const WireMsg& m);
+
+  GroupId group_;
+  NodeId self_;
+  std::vector<NodeId> members_;
+  simnet::Simulator& sim_;
+  Callbacks cb_;
+  Options opt_;
+
+  Role role_ = Role::kFollower;
+  Term term_ = 0;
+  NodeId voted_for_ = kInvalidNode;
+  NodeId leader_ = kInvalidNode;
+  Log log_;
+  LogIndex commit_ = 0;
+  LogIndex applied_ = 0;
+  Time last_leader_contact_ = 0;
+
+  // Candidate state.
+  std::unordered_set<NodeId> votes_;
+
+  // Leader state.
+  std::vector<LogIndex> next_index_;   // indexed by member position
+  std::vector<LogIndex> match_index_;  // indexed by member position
+  /// Highest index already put on the wire per peer. Prevents the resend
+  /// amplification spiral: without it, every propose/commit retransmits
+  /// all unacked (possibly huge) entries, melting a briefly-backlogged
+  /// peer's CPU further.
+  std::vector<LogIndex> sent_up_to_;   // indexed by member position
+  std::vector<Time> last_progress_;    // last match-index advance per peer
+  std::vector<Time> last_repair_;      // last full retransmit per peer
+
+  simnet::EventId election_timer_ = simnet::kInvalidEvent;
+  simnet::EventId heartbeat_timer_ = simnet::kInvalidEvent;
+  bool stopped_ = true;
+};
+
+}  // namespace canopus::raft

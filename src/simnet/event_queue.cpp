@@ -1,0 +1,41 @@
+#include "simnet/event_queue.h"
+
+#include <cassert>
+
+namespace canopus::simnet {
+
+EventId EventQueue::schedule(Time t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) --live_;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::pair<Time, std::function<void()>> EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(top.id);
+  std::pair<Time, std::function<void()>> result{top.time, std::move(it->second)};
+  handlers_.erase(it);
+  --live_;
+  return result;
+}
+
+}  // namespace canopus::simnet

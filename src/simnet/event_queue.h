@@ -1,0 +1,54 @@
+// Priority event queue with O(log n) schedule/pop and O(1) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canopus::simnet {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Events at equal times fire in
+  /// schedule order (the id doubles as the tiebreak), keeping runs
+  /// deterministic.
+  EventId schedule(Time t, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid id is a
+  /// no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  Time next_time();
+
+  /// Pops and returns the earliest pending event. Precondition: !empty().
+  std::pair<Time, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace canopus::simnet

@@ -1,0 +1,65 @@
+// Type-erased network message.
+//
+// Payloads are held behind a shared_ptr so that a broadcast of a large
+// proposal (Canopus proposals can carry thousands of requests) shares one
+// allocation across all receivers. `wire_bytes` is what the network charges
+// for; it is computed by the protocol from its own serialization rules, so
+// the simulator never needs to actually serialize anything.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+
+namespace canopus::simnet {
+
+class Message {
+ public:
+  Message() = default;
+
+  template <class T>
+  Message(NodeId src, NodeId dst, std::size_t wire_bytes, T payload)
+      : src_(src),
+        dst_(dst),
+        wire_bytes_(wire_bytes),
+        payload_(std::make_shared<Model<T>>(std::move(payload))) {}
+
+  NodeId src() const { return src_; }
+  NodeId dst() const { return dst_; }
+  std::size_t wire_bytes() const { return wire_bytes_; }
+
+  /// Returns the payload if it has dynamic type T, else nullptr.
+  template <class T>
+  const T* as() const {
+    auto* model = dynamic_cast<const Model<T>*>(payload_.get());
+    return model ? &model->value : nullptr;
+  }
+
+  /// Re-address the same payload to a different destination (used when a
+  /// representative re-broadcasts a fetched proposal inside its super-leaf).
+  Message readdressed(NodeId src, NodeId dst) const {
+    Message m = *this;
+    m.src_ = src;
+    m.dst_ = dst;
+    return m;
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+  };
+  template <class T>
+  struct Model final : Concept {
+    explicit Model(T v) : value(std::move(v)) {}
+    T value;
+  };
+
+  NodeId src_ = kInvalidNode;
+  NodeId dst_ = kInvalidNode;
+  std::size_t wire_bytes_ = 0;
+  std::shared_ptr<const Concept> payload_;
+};
+
+}  // namespace canopus::simnet

@@ -1,0 +1,129 @@
+#include "simnet/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace canopus::simnet {
+
+namespace {
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (std::uint64_t{a} << 32) | b;
+}
+}  // namespace
+
+Network::Network(Simulator& sim, Topology topo, CpuModel cpu)
+    : sim_(sim),
+      topo_(std::move(topo)),
+      cpu_(cpu),
+      procs_(topo_.num_nodes(), nullptr),
+      up_(topo_.num_nodes(), true),
+      link_free_(topo_.num_links(), 0),
+      cpu_free_(topo_.num_nodes(), 0),
+      link_bytes_(topo_.num_links(), 0),
+      cpu_backlog_(topo_.num_nodes(), 0),
+      link_backlog_(topo_.num_links(), 0) {}
+
+void Network::attach(NodeId id, Process& proc) {
+  assert(id < procs_.size());
+  procs_[id] = &proc;
+  proc.sim_ = &sim_;
+  proc.net_ = this;
+  proc.id_ = id;
+  sim_.after(0, [&proc] { proc.on_start(); });
+}
+
+void Network::send(Message m) {
+  const NodeId src = m.src();
+  const NodeId dst = m.dst();
+  assert(src < procs_.size() && dst < procs_.size());
+
+  if (!up_[src]) return;  // a crashed node sends nothing
+  if (src == dst) {
+    send_local(std::move(m));
+    return;
+  }
+  if (severed_.contains(pair_key(src, dst))) {
+    ++stats_.dropped;
+    return;
+  }
+
+  const Time now = sim_.now();
+  const auto bytes = static_cast<double>(m.wire_bytes());
+
+  // Sender CPU: serialize + syscall cost, serialized per node.
+  cpu_backlog_[src] = std::max(cpu_backlog_[src], cpu_free_[src] - now);
+  const Time t = std::max(now, cpu_free_[src]) + cpu_.send_fixed +
+                 static_cast<Time>(std::llround(bytes * cpu_.ns_per_byte));
+  cpu_free_[src] = t;
+
+  ++stats_.messages;
+  stats_.bytes += m.wire_bytes();
+  // Store-and-forward, one event per hop: a link's transmission slot is
+  // claimed when the message actually ARRIVES at that link. (Reserving all
+  // hops inside this call would order reservations by send-call time, so a
+  // WAN message — which reaches the destination's down-link only ~66 ms
+  // from now — would block intra-DC messages that physically arrive there
+  // first.)
+  sim_.at(t, [this, m = std::move(m), hop = std::size_t{0}]() mutable {
+    hop_arrival(std::move(m), hop);
+  });
+}
+
+void Network::hop_arrival(Message m, std::size_t hop) {
+  const auto& path = topo_.path(m.src(), m.dst());
+  if (hop >= path.size()) {
+    deliver(std::move(m), sim_.now());
+    return;
+  }
+  const LinkId l = path[hop];
+  const LinkSpec& spec = topo_.link(l);
+  const Time now = sim_.now();
+  link_backlog_[l] = std::max(link_backlog_[l], link_free_[l] - now);
+  const Time start = std::max(now, link_free_[l]);
+  const Time serialize = static_cast<Time>(std::llround(
+      static_cast<double>(m.wire_bytes()) / spec.bytes_per_ns));
+  link_free_[l] = start + serialize;
+  link_bytes_[l] += m.wire_bytes();
+  const Time next = start + serialize + spec.latency;
+  sim_.at(next, [this, m = std::move(m), hop]() mutable {
+    hop_arrival(std::move(m), hop + 1);
+  });
+}
+
+void Network::send_local(Message m) {
+  if (!up_[m.src()]) return;
+  const Time t = std::max(sim_.now(), cpu_free_[m.src()]) + cpu_.send_fixed;
+  cpu_free_[m.src()] = t;
+  sim_.at(t, [this, m = std::move(m), t] { deliver(m, t); });
+}
+
+void Network::deliver(Message m, Time arrival) {
+  const NodeId dst = m.dst();
+  if (!up_[dst] || procs_[dst] == nullptr) {
+    ++stats_.dropped;
+    return;
+  }
+  // Receiver CPU: deserialization + handler dispatch, serialized per node.
+  cpu_backlog_[dst] =
+      std::max(cpu_backlog_[dst], cpu_free_[dst] - arrival);
+  const Time ready =
+      std::max(arrival, cpu_free_[dst]) + cpu_.recv_fixed +
+      static_cast<Time>(
+          std::llround(static_cast<double>(m.wire_bytes()) * cpu_.ns_per_byte));
+  cpu_free_[dst] = ready;
+  sim_.at(ready, [this, m = std::move(m)] {
+    if (!up_[m.dst()]) {
+      ++stats_.dropped;
+      return;
+    }
+    if (trace_) trace_(sim_.now(), m);
+    procs_[m.dst()]->on_message(m);
+  });
+}
+
+void Network::crash(NodeId n) { up_[n] = false; }
+void Network::recover(NodeId n) { up_[n] = true; }
+void Network::sever(NodeId a, NodeId b) { severed_.insert(pair_key(a, b)); }
+void Network::heal(NodeId a, NodeId b) { severed_.erase(pair_key(a, b)); }
+
+}  // namespace canopus::simnet

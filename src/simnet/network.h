@@ -1,0 +1,155 @@
+// Network: routes Messages through the Topology with queueing and CPU cost.
+//
+// Cost model (DESIGN.md §4.2):
+//  * Each link has a FIFO "next free" time; a message of b bytes occupies a
+//    link for b/bandwidth, then propagates for the link latency. Concurrent
+//    traffic on an oversubscribed uplink therefore queues — this is what
+//    makes broadcast-heavy protocols plateau.
+//  * Each node has a serial CPU. Sending charges a fixed per-message cost
+//    plus a per-byte cost; receiving likewise. This bounds per-node request
+//    throughput and is what exposes the centralized-coordinator bottleneck
+//    in Zab and the O(n) work per command in EPaxos.
+//
+// Fault injection: nodes can crash (messages to/from them are dropped) and
+// directed node pairs can be severed to emulate partitions, even though the
+// paper assumes partitions are rare — tests use this to exercise Canopus'
+// documented stall behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "simnet/message.h"
+#include "simnet/simulator.h"
+#include "simnet/topology.h"
+
+namespace canopus::simnet {
+
+class Process;
+
+/// Per-node processing cost parameters, calibrated in EXPERIMENTS.md.
+/// Protocol-level per-request work is charged separately via
+/// Network::busy() by each protocol implementation.
+struct CpuModel {
+  Time send_fixed = 1'000;    ///< ns per message sent
+  Time recv_fixed = 1'000;    ///< ns per message received
+  double ns_per_byte = 0.5;   ///< serialization/deserialization cost
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Topology topo, CpuModel cpu = {});
+
+  /// Registers the process handling messages addressed to `id`.
+  /// The process must outlive the network.
+  void attach(NodeId id, Process& proc);
+
+  /// Sends a message; delivery is scheduled through the link/CPU model.
+  void send(Message m);
+
+  /// Local (same-node) hand-off: skips links, still charges CPU.
+  void send_local(Message m);
+
+  /// Charges `cost` of protocol-level compute (sorting, dependency checks,
+  /// state-machine work) to a node's serial CPU. Subsequent sends and
+  /// deliveries at that node queue behind it.
+  void busy(NodeId n, Time cost) {
+    if (cost <= 0) return;
+    const Time now = sim_.now();
+    cpu_free_[n] = std::max(now, cpu_free_[n]) + cost;
+  }
+
+  // --- fault injection -----------------------------------------------
+  void crash(NodeId n);
+  void recover(NodeId n);
+  bool is_up(NodeId n) const { return up_[n]; }
+  /// Severs/heals the directed pair a -> b.
+  void sever(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+
+  // --- observability --------------------------------------------------
+  const NetworkStats& stats() const { return stats_; }
+  /// Total bytes that traversed a given link (for utilization assertions).
+  std::uint64_t link_bytes(LinkId l) const { return link_bytes_[l]; }
+
+  /// Diagnostics: worst queueing observed so far (how far a node's CPU or a
+  /// link's serializer ran ahead of the clock). Useful for locating the
+  /// saturated resource in capacity experiments.
+  Time max_cpu_backlog(NodeId n) const {
+    return n < cpu_backlog_.size() ? cpu_backlog_[n] : 0;
+  }
+  Time max_link_backlog(LinkId l) const {
+    return l < link_backlog_.size() ? link_backlog_[l] : 0;
+  }
+  const Topology& topo() const { return topo_; }
+
+  /// Optional delivery trace hook (time, message) fired at delivery.
+  using TraceFn = std::function<void(Time, const Message&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  void hop_arrival(Message m, std::size_t hop);
+  void deliver(Message m, Time arrival);
+
+  Simulator& sim_;
+  Topology topo_;
+  CpuModel cpu_;
+  std::vector<Process*> procs_;
+  std::vector<bool> up_;
+  std::vector<Time> link_free_;
+  std::vector<Time> cpu_free_;
+  std::vector<std::uint64_t> link_bytes_;
+  std::vector<Time> cpu_backlog_;
+  std::vector<Time> link_backlog_;
+  std::unordered_set<std::uint64_t> severed_;
+  NetworkStats stats_;
+  TraceFn trace_;
+};
+
+/// Base class for all protocol actors (consensus nodes, clients, switches'
+/// control planes...). A Process is attached to exactly one NodeId.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  NodeId node_id() const { return id_; }
+
+  /// Invoked once when the simulation starts (after all attachments).
+  virtual void on_start() {}
+
+  /// Invoked for every delivered message.
+  virtual void on_message(const Message& m) = 0;
+
+ protected:
+  Simulator& sim() const { return *sim_; }
+  Network& net() const { return *net_; }
+
+  /// Sends a typed payload to `dst`, charging `wire_bytes` on the wire.
+  template <class T>
+  void send(NodeId dst, std::size_t wire_bytes, T payload) {
+    net_->send(Message(id_, dst, wire_bytes, std::move(payload)));
+  }
+
+  EventId after(Time delay, std::function<void()> fn) {
+    return sim_->after(delay, std::move(fn));
+  }
+
+ private:
+  friend class Network;
+  Simulator* sim_ = nullptr;
+  Network* net_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+}  // namespace canopus::simnet

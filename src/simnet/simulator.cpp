@@ -1,0 +1,30 @@
+#include "simnet/simulator.h"
+
+namespace canopus::simnet {
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+    ++n;
+  }
+  events_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+    ++n;
+  }
+  now_ = deadline;
+  events_ += n;
+  return n;
+}
+
+}  // namespace canopus::simnet

@@ -1,0 +1,54 @@
+// Discrete-event simulation kernel: virtual clock + event queue + RNG.
+//
+// Single-threaded and fully deterministic: a run is a pure function of the
+// seed and the registered processes. Protocol code never reads wall-clock
+// time or global randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "simnet/event_queue.h"
+
+namespace canopus::simnet {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  EventId at(Time abs_time, std::function<void()> fn) {
+    return queue_.schedule(abs_time < now_ ? now_ : abs_time, std::move(fn));
+  }
+
+  EventId after(Time delay, std::function<void()> fn) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains. Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline, then advances the clock to exactly
+  /// `deadline`. Returns the number of events processed.
+  std::uint64_t run_until(Time deadline);
+
+  std::uint64_t events_processed() const { return events_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace canopus::simnet

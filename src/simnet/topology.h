@@ -1,0 +1,104 @@
+// Static network topology: nodes, links and routed paths.
+//
+// The builders mirror the two testbeds in the paper's evaluation (§8):
+//
+//  * build_multi_rack — the single-datacenter cluster: racks of machines
+//    behind ToR switches, ToR switches joined by an oversubscribed
+//    aggregation switch (Mellanox SX1012s, 10 Gb NICs, 2x10 Gb uplinks).
+//  * build_multi_dc  — the EC2 deployment: datacenters joined by WAN links
+//    parameterized by the paper's Table 1 RTT matrix.
+//
+// A Topology is immutable once built; all mutable link/node state lives in
+// Network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canopus::simnet {
+
+using LinkId = std::uint32_t;
+
+struct LinkSpec {
+  Time latency = 0;         ///< one-way propagation delay, ns
+  double bytes_per_ns = 0;  ///< capacity (10 Gb/s = 1.25 B/ns)
+};
+
+/// Converts gigabits per second to bytes per nanosecond.
+constexpr double gbps(double g) { return g / 8.0; }
+
+class Topology {
+ public:
+  NodeId add_node(int rack, int dc);
+  LinkId add_link(Time latency, double bytes_per_ns);
+
+  /// Sets the directed path a -> b as an ordered list of links.
+  void set_path(NodeId a, NodeId b, std::vector<LinkId> links);
+
+  const std::vector<LinkId>& path(NodeId a, NodeId b) const;
+
+  std::size_t num_nodes() const { return rack_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  const LinkSpec& link(LinkId id) const { return links_[id]; }
+
+  int rack_of(NodeId n) const { return rack_[n]; }
+  int dc_of(NodeId n) const { return dc_[n]; }
+
+  /// Minimum end-to-end latency a -> b for an empty network and a message of
+  /// `bytes` bytes (propagation + serialization, no queueing, no CPU).
+  Time base_latency(NodeId a, NodeId b, std::size_t bytes) const;
+
+ private:
+  std::vector<LinkSpec> links_;
+  std::vector<int> rack_;
+  std::vector<int> dc_;
+  std::vector<std::vector<LinkId>> paths_;  // dense n*n once finalized
+  std::size_t path_stride_ = 0;
+
+  void ensure_path_table();
+};
+
+/// A built cluster: the topology plus which nodes are consensus servers and
+/// which are client machines.
+struct Cluster {
+  Topology topo;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> clients;
+};
+
+struct RackConfig {
+  int racks = 3;
+  int servers_per_rack = 3;
+  int clients_per_rack = 5;
+  double nic_gbps = 10.0;
+  Time nic_latency = 1'500;     ///< node <-> ToR one way
+  double uplink_gbps = 20.0;    ///< 2 x 10 Gb ToR <-> aggregation
+  Time uplink_latency = 2'000;  ///< ToR <-> aggregation one way
+};
+
+/// Single-datacenter testbed (§8.1). Oversubscription emerges naturally:
+/// servers_per_rack x nic_gbps vs uplink_gbps.
+Cluster build_multi_rack(const RackConfig& cfg);
+
+struct WanConfig {
+  std::vector<int> servers_per_dc;
+  std::vector<int> clients_per_dc;
+  /// Full RTT matrix in milliseconds; diagonal entries are intra-DC RTTs.
+  std::vector<std::vector<double>> rtt_ms;
+  double nic_gbps = 10.0;
+  double wan_gbps = 10.0;
+};
+
+/// Multi-datacenter testbed (§8.2).
+Cluster build_multi_dc(const WanConfig& cfg);
+
+/// The paper's Table 1: RTTs in ms between IR, CA, VA, TK, OR, SY, FF
+/// (Ireland, California, Virginia, Tokyo, Oregon, Sydney, Frankfurt).
+const std::vector<std::vector<double>>& table1_rtt_ms();
+
+/// Names of the Table 1 sites, in matrix order.
+const std::vector<const char*>& table1_site_names();
+
+}  // namespace canopus::simnet

@@ -1,0 +1,165 @@
+// Ready-made deployments: a consensus system + topology + open-loop clients
+// + measurement, matching the paper's experimental setups (§8).
+//
+// One function per (system, topology family); each runs a fresh, seeded
+// simulation at a given offered load and returns the client-side
+// Measurement. Benches compose these with workload::find_max_throughput /
+// sweep_rates to regenerate the paper's figures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "canopus/node.h"
+#include "epaxos/epaxos.h"
+#include "simnet/network.h"
+#include "simnet/topology.h"
+#include "workload/client.h"
+#include "workload/runner.h"
+#include "zab/zab.h"
+
+namespace canopus::workload {
+
+/// Which consensus system a deployment runs.
+enum class System { kCanopus, kEPaxos, kZab };
+
+inline const char* system_name(System s) {
+  switch (s) {
+    case System::kCanopus: return "Canopus";
+    case System::kEPaxos: return "EPaxos";
+    case System::kZab: return "ZooKeeper";
+  }
+  return "?";
+}
+
+struct TrialConfig {
+  System system = System::kCanopus;
+
+  // Topology: single-DC (racks of servers, paper §8.1) or multi-DC WAN
+  // (paper §8.2). When `wan` is true, `groups` datacenters of `per_group`
+  // servers each are connected by the Table 1 latency matrix.
+  bool wan = false;
+  int groups = 3;            ///< racks or datacenters
+  int per_group = 3;         ///< servers per rack / per DC
+  int client_machines = 5;   ///< client machines per rack / per DC
+
+  // Workload (§8.1): 180 clients, 20% writes, 1M keys, 16-byte pairs.
+  double write_ratio = 0.2;
+  std::uint64_t num_keys = 1'000'000;
+
+  // Measurement window.
+  Time warmup = 600 * kMillisecond;
+  Time measure = 2 * kSecond;
+  Time drain = 800 * kMillisecond;
+
+  std::uint64_t seed = 1;
+
+  /// Per-node processing costs. The defaults are calibrated (see
+  /// EXPERIMENTS.md) so a single node tops out at a few hundred thousand
+  /// requests/second — the regime of the paper's testbed — making the CPU
+  /// of broadcast-heavy protocols the bottleneck it was in §8:
+  ///   2 us fixed per message + 2.5 ns per payload byte, each direction,
+  ///   plus protocol-level per-request costs charged by each system (see
+  ///   canopus/epaxos/zab Config).
+  simnet::CpuModel cpu{2'000, 2'000, 2.5};
+
+  // Per-system tuning.
+  core::Config canopus;
+  epaxos::Config epaxos;
+  zab::Config zab;
+};
+
+/// Runs one trial at `offered_rate` total requests/second (spread evenly
+/// over all client machines) and reports client-observed completions.
+inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
+  simnet::Simulator sim(tc.seed);
+
+  simnet::Cluster cluster;
+  if (tc.wan) {
+    simnet::WanConfig wc;
+    wc.servers_per_dc.assign(static_cast<std::size_t>(tc.groups),
+                             tc.per_group);
+    wc.clients_per_dc.assign(static_cast<std::size_t>(tc.groups),
+                             tc.client_machines);
+    wc.rtt_ms = simnet::table1_rtt_ms();
+    cluster = simnet::build_multi_dc(wc);
+  } else {
+    simnet::RackConfig rc;
+    rc.racks = tc.groups;
+    rc.servers_per_rack = tc.per_group;
+    rc.clients_per_rack = tc.client_machines;
+    cluster = simnet::build_multi_rack(rc);
+  }
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+
+  // --- consensus servers ------------------------------------------------
+  std::vector<std::unique_ptr<simnet::Process>> servers;
+  std::shared_ptr<const lot::Lot> lot;
+  switch (tc.system) {
+    case System::kCanopus: {
+      lot::LotConfig lc;
+      for (int g = 0; g < tc.groups; ++g) {
+        lc.super_leaves.emplace_back();
+        for (int s = 0; s < tc.per_group; ++s)
+          lc.super_leaves.back().push_back(
+              cluster.servers[static_cast<std::size_t>(g * tc.per_group + s)]);
+      }
+      lot = std::make_shared<const lot::Lot>(lot::Lot::build(lc));
+      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
+        servers.push_back(
+            std::make_unique<core::CanopusNode>(lot, tc.canopus));
+      break;
+    }
+    case System::kEPaxos:
+      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
+        servers.push_back(std::make_unique<epaxos::EPaxosNode>(
+            cluster.servers, tc.epaxos));
+      break;
+    case System::kZab:
+      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
+        servers.push_back(
+            std::make_unique<zab::ZabNode>(cluster.servers, tc.zab));
+      break;
+  }
+  for (std::size_t i = 0; i < cluster.servers.size(); ++i)
+    net.attach(cluster.servers[i], *servers[i]);
+
+  // --- clients -----------------------------------------------------------
+  auto recorder = std::make_shared<LatencyRecorder>();
+  recorder->set_window(tc.warmup, tc.warmup + tc.measure);
+
+  const double per_machine_rate =
+      offered_rate / static_cast<double>(cluster.clients.size());
+  std::vector<std::unique_ptr<OpenLoopClient>> clients;
+  Rng seeder(tc.seed ^ 0xc11e57ULL);
+  for (std::size_t i = 0; i < cluster.clients.size(); ++i) {
+    ClientConfig cc;
+    // Paper: each client connects to a uniformly-selected node in the same
+    // rack/DC. A machine aggregates many client sessions, spread evenly
+    // over every same-group server.
+    const int group = tc.wan ? cluster.topo.dc_of(cluster.clients[i])
+                             : cluster.topo.rack_of(cluster.clients[i]);
+    const std::size_t base =
+        static_cast<std::size_t>(group) * static_cast<std::size_t>(tc.per_group);
+    for (int s = 0; s < tc.per_group; ++s)
+      cc.servers.push_back(
+          cluster.servers[base + static_cast<std::size_t>(s)]);
+    cc.rate_per_s = per_machine_rate;
+    cc.write_ratio = tc.write_ratio;
+    cc.num_keys = tc.num_keys;
+    cc.stop_at = tc.warmup + tc.measure;
+    clients.push_back(
+        std::make_unique<OpenLoopClient>(cc, recorder, seeder()));
+    net.attach(cluster.clients[i], *clients.back());
+  }
+
+  sim.run_until(tc.warmup + tc.measure + tc.drain);
+  return measure(*recorder, offered_rate);
+}
+
+/// Convenience: a TrialFn bound to a TrialConfig.
+inline TrialFn make_trial(TrialConfig tc) {
+  return [tc](double rate) { return run_trial(tc, rate); };
+}
+
+}  // namespace canopus::workload

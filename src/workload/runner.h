@@ -1,0 +1,76 @@
+// Experiment driver helpers implementing the paper's methodology (§8.1):
+// "We determine the throughput of a system by increasing the request
+//  inter-arrival rate until the throughput reaches a plateau ... our
+//  experiments run until the request completion time is above 10 ms and we
+//  use the last data point as the throughput result."
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "workload/stats.h"
+
+namespace canopus::workload {
+
+struct Measurement {
+  double offered = 0;      ///< offered load, requests/second (all clients)
+  double throughput = 0;   ///< completed requests/second in the window
+  Time median = 0;
+  Time p99 = 0;
+  double mean = 0;
+  std::uint64_t completed = 0;
+};
+
+inline Measurement measure(const LatencyRecorder& rec, double offered) {
+  Measurement m;
+  m.offered = offered;
+  m.throughput = rec.throughput();
+  m.median = rec.histogram().median();
+  m.p99 = rec.histogram().percentile(0.99);
+  m.mean = rec.histogram().mean();
+  m.completed = rec.completed();
+  return m;
+}
+
+/// A trial runs one fresh simulation at the given total offered rate and
+/// returns its measurement.
+using TrialFn = std::function<Measurement(double offered_rate)>;
+
+struct SearchResult {
+  Measurement max;                    ///< highest-throughput healthy point
+  std::vector<Measurement> sweep;     ///< every point visited
+};
+
+/// Geometric rate ramp per the paper: raise the rate until the median
+/// completion time crosses `latency_cap` (10 ms in §8.1) or throughput
+/// stops improving; report the best healthy point.
+inline SearchResult find_max_throughput(const TrialFn& trial,
+                                        double start_rate,
+                                        double growth = 1.4,
+                                        Time latency_cap = 10 * kMillisecond,
+                                        int max_steps = 20) {
+  SearchResult out;
+  double rate = start_rate;
+  for (int i = 0; i < max_steps; ++i) {
+    Measurement m = trial(rate);
+    out.sweep.push_back(m);
+    const bool healthy = m.median <= latency_cap && m.completed > 0;
+    if (healthy && m.throughput > out.max.throughput) out.max = m;
+    if (!healthy) break;
+    // Saturation: completions fall well behind offered load.
+    if (m.throughput < 0.7 * m.offered) break;
+    rate *= growth;
+  }
+  return out;
+}
+
+/// Fixed-rate sweep for latency-vs-throughput curves (Figures 5 and 6).
+inline std::vector<Measurement> sweep_rates(const TrialFn& trial,
+                                            const std::vector<double>& rates) {
+  std::vector<Measurement> out;
+  out.reserve(rates.size());
+  for (double r : rates) out.push_back(trial(r));
+  return out;
+}
+
+}  // namespace canopus::workload

@@ -1,0 +1,198 @@
+#include "zab/zab.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace canopus::zab {
+
+ZabNode::ZabNode(std::vector<NodeId> members, Config cfg)
+    : members_(std::move(members)), cfg_(cfg) {
+  assert(!members_.empty());
+  leader_ = members_[0];
+  // Ensembles smaller than followers+1 simply have fewer voters.
+  cfg_.followers =
+      std::min(cfg_.followers, static_cast<int>(members_.size()) - 1);
+}
+
+void ZabNode::on_start() {}
+
+ZabNode::Role ZabNode::role() const {
+  if (node_id() == leader_) return Role::kLeader;
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), node_id()) -
+      members_.begin());
+  return pos <= static_cast<std::size_t>(cfg_.followers) ? Role::kFollower
+                                                         : Role::kObserver;
+}
+
+void ZabNode::submit(kv::Request r) {
+  r.origin = node_id();
+  if (!r.is_write) {
+    // Reads are served locally from committed state (ZooKeeper semantics).
+    ++served_reads_;
+    net().busy(node_id(), cfg_.cpu_per_read);
+    kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+    reply_buffer_[r.id.client].done.push_back(done);
+    flush_replies();
+    return;
+  }
+  if (role() == Role::kLeader) {
+    pending_.push_back(r);
+    if (!batch_timer_armed_) {
+      batch_timer_armed_ = true;
+      after(cfg_.batch_interval, [this] {
+        batch_timer_armed_ = false;
+        flush_batch();
+      });
+    }
+  } else {
+    Forward f{{r}};
+    send(leader_, f.wire_bytes(), f);
+  }
+}
+
+void ZabNode::on_message(const simnet::Message& m) {
+  if (const auto* batch = m.as<kv::ClientBatch>()) {
+    // Forward writes in one message; serve reads immediately.
+    Forward fwd;
+    for (const kv::Request& req : batch->reqs) {
+      kv::Request r = req;
+      r.origin = node_id();
+      if (!r.is_write) {
+        ++served_reads_;
+        net().busy(node_id(), cfg_.cpu_per_read);
+        kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+        reply_buffer_[r.id.client].done.push_back(done);
+      } else if (role() == Role::kLeader) {
+        pending_.push_back(r);
+        if (!batch_timer_armed_) {
+          batch_timer_armed_ = true;
+          after(cfg_.batch_interval, [this] {
+            batch_timer_armed_ = false;
+            flush_batch();
+          });
+        }
+      } else {
+        fwd.reqs.push_back(r);
+      }
+    }
+    if (!fwd.reqs.empty()) send(leader_, fwd.wire_bytes(), fwd);
+    flush_replies();
+  } else if (const auto* f = m.as<Forward>()) {
+    handle_forward(*f);
+  } else if (const auto* p = m.as<Propose>()) {
+    handle_propose(m.src(), *p);
+  } else if (const auto* a = m.as<Ack>()) {
+    handle_ack(*a);
+  } else if (const auto* c = m.as<CommitMsg>()) {
+    handle_commit(*c);
+  } else if (const auto* inf = m.as<Inform>()) {
+    // Observers: commit arrives with the data, in zxid order.
+    ready_[inf->zxid] = inf->batch;
+    while (ready_.contains(next_apply_)) {
+      apply(next_apply_, *ready_[next_apply_]);
+      ready_.erase(next_apply_);
+      ++next_apply_;
+    }
+  }
+}
+
+void ZabNode::handle_forward(const Forward& f) {
+  assert(role() == Role::kLeader);
+  pending_.insert(pending_.end(), f.reqs.begin(), f.reqs.end());
+  if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    after(cfg_.batch_interval, [this] {
+      batch_timer_armed_ = false;
+      flush_batch();
+    });
+  }
+}
+
+void ZabNode::flush_batch() {
+  if (pending_.empty()) return;
+  // The coordinator's per-write pipeline cost — the centralized bottleneck.
+  net().busy(node_id(), static_cast<Time>(pending_.size()) *
+                            cfg_.leader_cpu_per_write);
+  const Zxid z = next_zxid_++;
+  InFlight& fl = in_flight_[z];
+  fl.batch = std::make_shared<const std::vector<kv::Request>>(
+      std::move(pending_));
+  pending_.clear();
+
+  Propose p{z, fl.batch};
+  for (int i = 1; i <= cfg_.followers &&
+                  i < static_cast<int>(members_.size());
+       ++i) {
+    send(members_[static_cast<std::size_t>(i)], p.wire_bytes(), p);
+  }
+  if (quorum() <= 1) {  // degenerate single-node ensemble
+    fl.committed = true;
+    apply(z, *fl.batch);
+    in_flight_.erase(z);
+  }
+}
+
+void ZabNode::handle_propose(NodeId src, const Propose& p) {
+  uncommitted_[p.zxid] = p.batch;
+  Ack a{p.zxid};
+  send(src, Ack::kWire, a);
+}
+
+void ZabNode::handle_ack(const Ack& a) {
+  auto it = in_flight_.find(a.zxid);
+  if (it == in_flight_.end() || it->second.committed) return;
+  InFlight& fl = it->second;
+  ++fl.acks;
+  if (static_cast<std::size_t>(fl.acks) < quorum()) return;
+  fl.committed = true;
+
+  // Commit to followers (they hold the batch); Inform observers with data.
+  CommitMsg c{a.zxid};
+  Inform inf{a.zxid, fl.batch};
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    if (i <= static_cast<std::size_t>(cfg_.followers))
+      send(members_[i], CommitMsg::kWire, c);
+    else
+      send(members_[i], inf.wire_bytes(), inf);
+  }
+  apply(a.zxid, *fl.batch);
+  in_flight_.erase(it);
+}
+
+void ZabNode::handle_commit(const CommitMsg& c) {
+  auto it = uncommitted_.find(c.zxid);
+  if (it == uncommitted_.end()) return;
+  ready_[c.zxid] = std::move(it->second);
+  uncommitted_.erase(it);
+  while (ready_.contains(next_apply_)) {
+    apply(next_apply_, *ready_[next_apply_]);
+    ready_.erase(next_apply_);
+    ++next_apply_;
+  }
+}
+
+void ZabNode::apply(Zxid zxid, const std::vector<kv::Request>& batch) {
+  net().busy(node_id(),
+             static_cast<Time>(batch.size()) * cfg_.cpu_per_write);
+  for (const kv::Request& r : batch) {
+    store_.apply(r);
+    digest_.append(r);
+    if (r.origin == node_id() && r.id.client != kInvalidNode) {
+      kv::Completion done{r.id, true, 0, r.arrival};
+      reply_buffer_[r.id.client].done.push_back(done);
+    }
+  }
+  if (on_commit) on_commit(zxid, batch);
+  flush_replies();
+}
+
+void ZabNode::flush_replies() {
+  for (auto& [client, batch] : reply_buffer_) {
+    if (client != kInvalidNode && !batch.done.empty())
+      send(client, batch.wire_bytes(), std::move(batch));
+  }
+  reply_buffer_.clear();
+}
+
+}  // namespace canopus::zab

@@ -1,0 +1,148 @@
+// Zab / ZooKeeper baseline: centralized atomic broadcast (Junqueira et al.,
+// DSN '11), configured the way the Canopus paper runs it (§8.1.2):
+//
+//  * one leader;
+//  * a fixed set of followers (the paper uses 5) that vote on proposals;
+//  * every remaining node is an observer: it does not vote, but receives
+//    committed transactions asynchronously and serves reads locally.
+//
+// Write path: any node forwards client writes to the leader; the leader
+// batches them, proposes to followers, commits on a majority of votes
+// (leader + followers), then broadcasts the commit to followers and INFORMs
+// observers. The node that received a client's request replies to that
+// client after applying the commit locally.
+//
+// Read path: served immediately from local committed state (ZooKeeper's
+// consistency model), by any node.
+//
+// The centralized coordinator is the bottleneck this baseline exists to
+// show: every write traverses the leader, and the leader's egress grows
+// with the number of followers + observers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/store.h"
+#include "kv/types.h"
+#include "simnet/network.h"
+
+namespace canopus::zab {
+
+struct Config {
+  /// Number of voting followers (the paper uses 5; the rest observe).
+  int followers = 5;
+  /// Leader-side batching window for proposals.
+  Time batch_interval = 1 * kMillisecond;
+  /// Leader-side protocol CPU per write: the full ZooKeeper request
+  /// pipeline (session checks, znode processing, txn serialization) runs
+  /// on the single coordinator — the centralized bottleneck of §8.1.2.
+  Time leader_cpu_per_write = 20'000;
+  /// Per-write apply cost at every member; per-read service cost at the
+  /// serving node.
+  Time cpu_per_write = 1'000;
+  Time cpu_per_read = 1'000;
+};
+
+using Zxid = std::uint64_t;
+
+struct Forward {  // member -> leader
+  std::vector<kv::Request> reqs;
+  std::size_t wire_bytes() const {
+    return 24 + kv::kRequestWire * reqs.size();
+  }
+};
+
+struct Propose {  // leader -> followers
+  Zxid zxid = 0;
+  /// Shared so the per-follower fan-out does not copy the batch.
+  std::shared_ptr<const std::vector<kv::Request>> batch;
+  std::size_t wire_bytes() const {
+    return 32 + kv::kRequestWire * (batch ? batch->size() : 0);
+  }
+};
+
+struct Ack {  // follower -> leader
+  Zxid zxid = 0;
+  static constexpr std::size_t kWire = 24;
+};
+
+struct CommitMsg {  // leader -> followers (they already hold the batch)
+  Zxid zxid = 0;
+  static constexpr std::size_t kWire = 24;
+};
+
+struct Inform {  // leader -> observers (carries the data)
+  Zxid zxid = 0;
+  std::shared_ptr<const std::vector<kv::Request>> batch;
+  std::size_t wire_bytes() const {
+    return 32 + kv::kRequestWire * (batch ? batch->size() : 0);
+  }
+};
+
+class ZabNode : public simnet::Process {
+ public:
+  enum class Role { kLeader, kFollower, kObserver };
+
+  /// `members` lists all nodes; members[0] is the leader, the next
+  /// cfg.followers are followers, the rest observers.
+  ZabNode(std::vector<NodeId> members, Config cfg);
+
+  void on_start() override;
+  void on_message(const simnet::Message& m) override;
+
+  void submit(kv::Request r);
+
+  Role role() const;
+  std::uint64_t committed_writes() const { return digest_.count(); }
+  std::uint64_t served_reads() const { return served_reads_; }
+  const kv::Store& store() const { return store_; }
+  const kv::CommitDigest& digest() const { return digest_; }
+
+  std::function<void(Zxid, const std::vector<kv::Request>&)> on_commit;
+
+ private:
+  struct InFlight {
+    std::shared_ptr<const std::vector<kv::Request>> batch;
+    int acks = 1;  // leader's own vote
+    bool committed = false;
+  };
+
+  void flush_batch();                       // leader only
+  void apply(Zxid zxid, const std::vector<kv::Request>& batch);
+  void handle_forward(const Forward& f);    // leader only
+  void handle_propose(NodeId src, const Propose& p);
+  void handle_ack(const Ack& a);            // leader only
+  void handle_commit(const CommitMsg& c);
+  void flush_replies();
+  std::size_t quorum() const {
+    return (static_cast<std::size_t>(cfg_.followers) + 1) / 2 + 1;
+  }
+
+  std::vector<NodeId> members_;
+  Config cfg_;
+  NodeId leader_ = kInvalidNode;
+
+  // Leader state.
+  std::vector<kv::Request> pending_;
+  Zxid next_zxid_ = 1;
+  std::unordered_map<Zxid, InFlight> in_flight_;
+  bool batch_timer_armed_ = false;
+
+  // Follower/observer state: proposals held until their commit arrives;
+  // commits are applied strictly in zxid order.
+  std::unordered_map<Zxid, std::shared_ptr<const std::vector<kv::Request>>>
+      uncommitted_;
+  std::unordered_map<Zxid, std::shared_ptr<const std::vector<kv::Request>>>
+      ready_;
+  Zxid next_apply_ = 1;
+
+  kv::Store store_;
+  kv::CommitDigest digest_;
+  std::uint64_t served_reads_ = 0;
+  std::unordered_map<NodeId, kv::ReplyBatch> reply_buffer_;
+};
+
+}  // namespace canopus::zab

@@ -1,0 +1,145 @@
+#include "epaxos/epaxos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "simnet/topology.h"
+
+namespace canopus::epaxos {
+namespace {
+
+class EPaxosTest : public ::testing::Test {
+ protected:
+  void build(int n, Config cfg = {}) {
+    sim_ = std::make_unique<simnet::Simulator>(42);
+    simnet::RackConfig rc;
+    rc.racks = 1;
+    rc.servers_per_rack = n;
+    rc.clients_per_rack = 0;
+    cluster_ = simnet::build_multi_rack(rc);
+    net_ = std::make_unique<simnet::Network>(*sim_, cluster_.topo);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(
+          std::make_unique<EPaxosNode>(cluster_.servers, cfg));
+      net_->attach(cluster_.servers[static_cast<size_t>(i)], *nodes_.back());
+    }
+  }
+
+  void write_at(Time t, int node, std::uint64_t key, std::uint64_t val) {
+    sim_->at(t, [this, node, key, val] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = key;
+      r.value = val;
+      r.arrival = sim_->now();
+      nodes_[static_cast<size_t>(node)]->submit(r);
+    });
+  }
+
+  std::unique_ptr<simnet::Simulator> sim_;
+  simnet::Cluster cluster_;
+  std::unique_ptr<simnet::Network> net_;
+  std::vector<std::unique_ptr<EPaxosNode>> nodes_;
+};
+
+TEST_F(EPaxosTest, CommitsAndExecutesEverywhere) {
+  build(3);
+  write_at(kMillisecond, 0, 7, 77);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) {
+    EXPECT_EQ(n->store().read(7), 77u);
+    EXPECT_GE(n->executed_requests(), 1u);
+  }
+}
+
+TEST_F(EPaxosTest, BatchingDelaysFlush) {
+  Config cfg;
+  cfg.batch_interval = 5 * kMillisecond;
+  build(3, cfg);
+  Time executed_at = 0;
+  nodes_[0]->on_execute = [&](const std::vector<kv::Request>&) {
+    if (executed_at == 0) executed_at = sim_->now();
+  };
+  write_at(kMillisecond, 0, 1, 1);
+  sim_->run_until(kSecond);
+  // Batch flushes 5 ms after submission; commit needs one in-rack RTT.
+  EXPECT_GE(executed_at, 6 * kMillisecond);
+  EXPECT_LE(executed_at, 8 * kMillisecond);
+}
+
+TEST_F(EPaxosTest, MultipleLeadersAllExecute) {
+  build(5);
+  for (int i = 0; i < 5; ++i)
+    write_at(kMillisecond, i, static_cast<std::uint64_t>(i), 100 + i);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) {
+    for (std::uint64_t k = 0; k < 5; ++k)
+      EXPECT_EQ(n->store().read(k), 100 + k);
+    EXPECT_EQ(n->executed_requests(), 5u);
+  }
+}
+
+TEST_F(EPaxosTest, ReadsTravelThroughProtocol) {
+  build(3);
+  write_at(kMillisecond, 0, 9, 99);
+  sim_->run_until(200 * kMillisecond);
+  // A read goes through a full instance; it executes (counted) and can be
+  // observed via on_execute at remote replicas too.
+  int read_seen_remote = 0;
+  nodes_[1]->on_execute = [&](const std::vector<kv::Request>& batch) {
+    for (const auto& r : batch)
+      if (!r.is_write) ++read_seen_remote;
+  };
+  sim_->at(sim_->now(), [this] {
+    kv::Request r;
+    r.is_write = false;
+    r.key = 9;
+    r.arrival = sim_->now();
+    nodes_[2]->submit(r);
+  });
+  sim_->run_until(sim_->now() + kSecond);
+  EXPECT_EQ(read_seen_remote, 1);
+}
+
+TEST_F(EPaxosTest, SingleReplicaDegenerate) {
+  build(1);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[0]->store().read(1), 11u);
+}
+
+TEST_F(EPaxosTest, FastQuorumSizes) {
+  // N=3: F=1, fq=2. N=5: F=2, fq=3. N=9: F=4, fq=6. (EPaxos paper.)
+  build(3);
+  // Validate indirectly: with 3 replicas, killing one still commits.
+  net_->crash(cluster_.servers[2]);
+  write_at(kMillisecond, 0, 5, 55);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[0]->store().read(5), 55u);
+  EXPECT_EQ(nodes_[1]->store().read(5), 55u);
+}
+
+TEST_F(EPaxosTest, BelowFastQuorumStalls) {
+  build(3);
+  net_->crash(cluster_.servers[1]);
+  net_->crash(cluster_.servers[2]);
+  write_at(kMillisecond, 0, 5, 55);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[0]->store().read(5), 0u);  // never committed
+}
+
+TEST_F(EPaxosTest, InterferingInstancesExecuteInDependencyOrder) {
+  Config cfg;
+  cfg.interference = 1.0;  // every instance conflicts
+  build(3, cfg);
+  for (int i = 0; i < 4; ++i)
+    write_at(kMillisecond + static_cast<Time>(i) * 20 * kMillisecond, 0, 1,
+             static_cast<std::uint64_t>(i));
+  sim_->run_until(2 * kSecond);
+  // Same leader, sequential dependencies: final value is the last write.
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(1), 3u);
+}
+
+}  // namespace
+}  // namespace canopus::epaxos

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "kv/store.h"
+#include "kv/types.h"
+
+namespace canopus::kv {
+namespace {
+
+TEST(Store, ReadOfMissingKeyIsZero) {
+  Store s;
+  EXPECT_EQ(s.read(42), 0u);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Store, ApplyWriteThenRead) {
+  Store s;
+  Request w;
+  w.is_write = true;
+  w.key = 7;
+  w.value = 77;
+  s.apply(w);
+  EXPECT_EQ(s.read(7), 77u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Store, ApplyIgnoresReads) {
+  Store s;
+  Request r;
+  r.is_write = false;
+  r.key = 7;
+  r.value = 99;
+  s.apply(r);
+  EXPECT_EQ(s.read(7), 0u);
+}
+
+TEST(Store, OverwriteKeepsLatest) {
+  Store s;
+  Request w;
+  w.is_write = true;
+  w.key = 1;
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    w.value = v;
+    s.apply(w);
+  }
+  EXPECT_EQ(s.read(1), 5u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CommitDigest, EqualForEqualSequences) {
+  CommitDigest a, b;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Request w;
+    w.id = {static_cast<ClientId>(i), i};
+    w.key = i;
+    w.value = i * 3;
+    a.append(w);
+    b.append(w);
+  }
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.count(), 10u);
+}
+
+TEST(CommitDigest, OrderSensitive) {
+  Request x, y;
+  x.key = 1;
+  x.value = 10;
+  y.key = 2;
+  y.value = 20;
+  CommitDigest a, b;
+  a.append(x);
+  a.append(y);
+  b.append(y);
+  b.append(x);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CommitDigest, ContentSensitive) {
+  Request x;
+  x.key = 1;
+  x.value = 10;
+  CommitDigest a, b;
+  a.append(x);
+  x.value = 11;
+  b.append(x);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(WireSizes, BatchesScaleWithContent) {
+  ClientBatch cb;
+  const auto empty = cb.wire_bytes();
+  cb.reqs.resize(10);
+  EXPECT_EQ(cb.wire_bytes(), empty + 10 * kRequestWire);
+
+  ReplyBatch rb;
+  const auto rempty = rb.wire_bytes();
+  rb.done.resize(4);
+  EXPECT_EQ(rb.wire_bytes(), rempty + 4 * 24);
+}
+
+TEST(RequestId, DefaultIsInvalidClient) {
+  RequestId id;
+  EXPECT_EQ(id.client, kInvalidNode);
+  RequestId a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace canopus::kv

@@ -1,0 +1,73 @@
+#include "simnet/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace canopus::simnet {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.cancel(999);
+  q.cancel(kInvalidEvent);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelledHeadIsSkippedByNextTime) {
+  EventQueue q;
+  EventId early = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  auto [t, fn] = q.pop();
+  EXPECT_EQ(t, 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  q.schedule(11, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace canopus::simnet

@@ -1,0 +1,116 @@
+#include "simnet/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace canopus::simnet {
+namespace {
+
+TEST(Topology, MultiRackCounts) {
+  RackConfig cfg;
+  cfg.racks = 3;
+  cfg.servers_per_rack = 3;
+  cfg.clients_per_rack = 5;
+  Cluster c = build_multi_rack(cfg);
+  EXPECT_EQ(c.servers.size(), 9u);
+  EXPECT_EQ(c.clients.size(), 15u);
+  EXPECT_EQ(c.topo.num_nodes(), 24u);
+}
+
+TEST(Topology, RackAssignment) {
+  RackConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 3;
+  cfg.clients_per_rack = 1;
+  Cluster c = build_multi_rack(cfg);
+  EXPECT_EQ(c.topo.rack_of(c.servers[0]), 0);
+  EXPECT_EQ(c.topo.rack_of(c.servers[2]), 0);
+  EXPECT_EQ(c.topo.rack_of(c.servers[3]), 1);
+  EXPECT_EQ(c.topo.rack_of(c.clients[1]), 1);
+}
+
+TEST(Topology, SameRackPathIsTwoHops) {
+  Cluster c = build_multi_rack({});
+  const auto& p = c.topo.path(c.servers[0], c.servers[1]);
+  EXPECT_EQ(p.size(), 2u);  // NIC up, NIC down
+}
+
+TEST(Topology, CrossRackPathTraversesAggregation) {
+  RackConfig cfg;
+  Cluster c = build_multi_rack(cfg);
+  NodeId a = c.servers[0];                              // rack 0
+  NodeId b = c.servers[static_cast<size_t>(cfg.servers_per_rack)];  // rack 1
+  const auto& p = c.topo.path(a, b);
+  EXPECT_EQ(p.size(), 4u);  // up, agg up, agg down, down
+}
+
+TEST(Topology, BaseLatencyAddsSerialization) {
+  RackConfig cfg;
+  cfg.nic_latency = 1'000;
+  cfg.nic_gbps = 8.0;  // 1 byte/ns
+  Cluster c = build_multi_rack(cfg);
+  // Two links of 1000 ns propagation each plus 100 ns serialization each.
+  EXPECT_EQ(c.topo.base_latency(c.servers[0], c.servers[1], 100), 2'200);
+}
+
+TEST(Topology, Table1MatrixIsMirroredAndSized) {
+  const auto& m = table1_rtt_ms();
+  ASSERT_EQ(m.size(), 7u);
+  for (size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(m[i].size(), 7u);
+    for (size_t j = 0; j < m.size(); ++j) EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+  }
+  // Spot checks against the paper's table.
+  EXPECT_DOUBLE_EQ(m[1][0], 133);  // CA-IR
+  EXPECT_DOUBLE_EQ(m[6][5], 322);  // FF-SY
+  EXPECT_DOUBLE_EQ(m[3][3], 0.13); // TK intra
+}
+
+TEST(Topology, MultiDcRttMatchesMatrix) {
+  WanConfig cfg;
+  cfg.servers_per_dc = {3, 3, 3};
+  cfg.clients_per_dc = {1, 1, 1};
+  cfg.rtt_ms = table1_rtt_ms();
+  Cluster c = build_multi_dc(cfg);
+  ASSERT_EQ(c.servers.size(), 9u);
+
+  NodeId ir = c.servers[0], ca = c.servers[3];
+  const Time one_way = c.topo.base_latency(ir, ca, 1);
+  const Time rtt = one_way + c.topo.base_latency(ca, ir, 1);
+  // 133 ms +- serialization slack.
+  EXPECT_NEAR(static_cast<double>(rtt), 133.0 * kMillisecond,
+              0.01 * kMillisecond);
+}
+
+TEST(Topology, MultiDcIntraDcRttMatchesDiagonal) {
+  WanConfig cfg;
+  cfg.servers_per_dc = {3, 3};
+  cfg.rtt_ms = table1_rtt_ms();
+  Cluster c = build_multi_dc(cfg);
+  NodeId a = c.servers[0], b = c.servers[1];
+  const Time rtt =
+      c.topo.base_latency(a, b, 1) + c.topo.base_latency(b, a, 1);
+  EXPECT_NEAR(static_cast<double>(rtt), 0.20 * kMillisecond,
+              0.01 * kMillisecond);
+}
+
+TEST(Topology, MultiDcRejectsShortMatrix) {
+  WanConfig cfg;
+  cfg.servers_per_dc = {3, 3, 3};
+  cfg.rtt_ms = {{0.2}};
+  EXPECT_THROW(build_multi_dc(cfg), std::invalid_argument);
+}
+
+TEST(Topology, DcAssignment) {
+  WanConfig cfg;
+  cfg.servers_per_dc = {2, 2};
+  cfg.clients_per_dc = {1, 1};
+  cfg.rtt_ms = table1_rtt_ms();
+  Cluster c = build_multi_dc(cfg);
+  EXPECT_EQ(c.topo.dc_of(c.servers[0]), 0);
+  EXPECT_EQ(c.topo.dc_of(c.servers[3]), 1);
+  EXPECT_EQ(c.topo.dc_of(c.clients[0]), 0);
+  EXPECT_EQ(c.topo.dc_of(c.clients[1]), 1);
+}
+
+}  // namespace
+}  // namespace canopus::simnet

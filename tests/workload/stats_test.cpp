@@ -1,0 +1,86 @@
+#include "workload/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace canopus::workload {
+namespace {
+
+TEST(LatencyHistogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(1.0), 9);
+}
+
+TEST(LatencyHistogram, MedianOfUniformRange) {
+  LatencyHistogram h;
+  for (Time v = 1; v <= 1000; ++v) h.record(v * 1000);
+  const double med = static_cast<double>(h.median());
+  EXPECT_NEAR(med, 500'000, 500'000 * 0.04);  // <= ~4% bucket error
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i)
+    h.record(static_cast<Time>(rng.below(100 * kMillisecond)));
+  Time prev = 0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const Time v = h.percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, LargeValuesBounded) {
+  LatencyHistogram h;
+  h.record(3'600 * kSecond);  // one hour
+  EXPECT_GE(h.percentile(0.5), kSecond);
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.record(kMillisecond);
+  b.record(3 * kMillisecond);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.percentile(1.0), 2 * kMillisecond);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(LatencyRecorder, WindowFiltersArrivals) {
+  LatencyRecorder r;
+  r.set_window(kSecond, 2 * kSecond);
+  r.complete(1'500 * kMillisecond, 500 * kMillisecond);   // arrived early
+  r.complete(2'500 * kMillisecond, 2'100 * kMillisecond); // arrived late
+  r.complete(1'600 * kMillisecond, 1'500 * kMillisecond); // in window
+  EXPECT_EQ(r.completed(), 1u);
+  EXPECT_NEAR(static_cast<double>(r.histogram().median()),
+              100.0 * kMillisecond, 0.04 * 100 * kMillisecond);
+}
+
+TEST(LatencyRecorder, ThroughputOverWindow) {
+  LatencyRecorder r;
+  r.set_window(0, 2 * kSecond);
+  for (int i = 0; i < 1000; ++i)
+    r.complete(kSecond, kMillisecond * static_cast<Time>(i % 1000));
+  EXPECT_DOUBLE_EQ(r.throughput(), 500.0);  // 1000 reqs / 2 s
+}
+
+}  // namespace
+}  // namespace canopus::workload

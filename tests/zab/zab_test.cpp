@@ -1,0 +1,165 @@
+#include "zab/zab.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "simnet/topology.h"
+
+namespace canopus::zab {
+namespace {
+
+class ZabTest : public ::testing::Test {
+ protected:
+  void build(int n, Config cfg = {}) {
+    sim_ = std::make_unique<simnet::Simulator>(42);
+    simnet::RackConfig rc;
+    rc.racks = 1;
+    rc.servers_per_rack = n;
+    rc.clients_per_rack = 0;
+    cluster_ = simnet::build_multi_rack(rc);
+    net_ = std::make_unique<simnet::Network>(*sim_, cluster_.topo);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<ZabNode>(cluster_.servers, cfg));
+      net_->attach(cluster_.servers[static_cast<size_t>(i)], *nodes_.back());
+    }
+  }
+
+  void write_at(Time t, int node, std::uint64_t key, std::uint64_t val) {
+    sim_->at(t, [this, node, key, val] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = key;
+      r.value = val;
+      r.arrival = sim_->now();
+      nodes_[static_cast<size_t>(node)]->submit(r);
+    });
+  }
+
+  void read_at(Time t, int node, std::uint64_t key) {
+    sim_->at(t, [this, node, key] {
+      kv::Request r;
+      r.is_write = false;
+      r.key = key;
+      r.arrival = sim_->now();
+      nodes_[static_cast<size_t>(node)]->submit(r);
+    });
+  }
+
+  std::unique_ptr<simnet::Simulator> sim_;
+  simnet::Cluster cluster_;
+  std::unique_ptr<simnet::Network> net_;
+  std::vector<std::unique_ptr<ZabNode>> nodes_;
+};
+
+TEST_F(ZabTest, RolesAssigned) {
+  Config cfg;
+  cfg.followers = 5;
+  build(9, cfg);
+  EXPECT_EQ(nodes_[0]->role(), ZabNode::Role::kLeader);
+  EXPECT_EQ(nodes_[1]->role(), ZabNode::Role::kFollower);
+  EXPECT_EQ(nodes_[5]->role(), ZabNode::Role::kFollower);
+  EXPECT_EQ(nodes_[6]->role(), ZabNode::Role::kObserver);
+  EXPECT_EQ(nodes_[8]->role(), ZabNode::Role::kObserver);
+}
+
+TEST_F(ZabTest, LeaderWriteCommitsEverywhere) {
+  build(9);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(1), 11u);
+}
+
+TEST_F(ZabTest, FollowerWriteForwardsToLeader) {
+  build(9);
+  write_at(kMillisecond, 3, 2, 22);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(2), 22u);
+}
+
+TEST_F(ZabTest, ObserverWriteForwardsToLeader) {
+  build(9);
+  write_at(kMillisecond, 8, 3, 33);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(3), 33u);
+}
+
+TEST_F(ZabTest, CommitOrderIdenticalOnAllNodes) {
+  build(9);
+  for (int i = 0; i < 20; ++i)
+    write_at(kMillisecond + static_cast<Time>(i) * 3 * kMillisecond,
+             i % 9, static_cast<std::uint64_t>(i % 4),
+             static_cast<std::uint64_t>(i));
+  sim_->run_until(2 * kSecond);
+  for (auto& n : nodes_) {
+    EXPECT_EQ(n->committed_writes(), 20u);
+    EXPECT_TRUE(n->digest() == nodes_[0]->digest());
+  }
+}
+
+TEST_F(ZabTest, ReadsServedLocallyWithoutBroadcast) {
+  build(9);
+  write_at(kMillisecond, 0, 5, 55);
+  sim_->run_until(500 * kMillisecond);
+  const auto msgs_before = net_->stats().messages;
+  read_at(sim_->now(), 7, 5);
+  sim_->run_until(sim_->now() + 100 * kMillisecond);
+  EXPECT_EQ(nodes_[7]->served_reads(), 1u);
+  // A local read generates no consensus traffic (reply to a test-local
+  // client id is suppressed since client == kInvalidNode).
+  EXPECT_EQ(net_->stats().messages, msgs_before);
+}
+
+TEST_F(ZabTest, BatchingCoalescesWrites) {
+  Config cfg;
+  cfg.batch_interval = 5 * kMillisecond;
+  build(9, cfg);
+  int commits = 0;
+  nodes_[0]->on_commit = [&](Zxid, const std::vector<kv::Request>&) {
+    ++commits;
+  };
+  // 10 writes to the leader inside one batch window -> one proposal.
+  for (int i = 0; i < 10; ++i)
+    write_at(kMillisecond, 0, static_cast<std::uint64_t>(i), 1);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(nodes_[0]->committed_writes(), 10u);
+}
+
+TEST_F(ZabTest, QuorumLossStalls) {
+  Config cfg;
+  cfg.followers = 5;
+  build(9, cfg);
+  // Kill 3 of 5 followers: quorum of 6 voters (leader+5) is 4; only 3 left.
+  net_->crash(cluster_.servers[1]);
+  net_->crash(cluster_.servers[2]);
+  net_->crash(cluster_.servers[3]);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[0]->store().read(1), 0u);
+  EXPECT_EQ(nodes_[8]->store().read(1), 0u);
+}
+
+TEST_F(ZabTest, ObserversDoNotVote) {
+  Config cfg;
+  cfg.followers = 2;
+  build(9, cfg);
+  // Quorum = 2 of {leader, f1, f2}. Kill ALL observers: commits continue.
+  for (int i = 3; i < 9; ++i) net_->crash(cluster_.servers[static_cast<size_t>(i)]);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[0]->store().read(1), 11u);
+  EXPECT_EQ(nodes_[1]->store().read(1), 11u);
+}
+
+TEST_F(ZabTest, SmallEnsembleFollowerCountClamped) {
+  Config cfg;
+  cfg.followers = 5;
+  build(3, cfg);  // fewer nodes than followers+1
+  write_at(kMillisecond, 2, 1, 11);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(1), 11u);
+}
+
+}  // namespace
+}  // namespace canopus::zab
