@@ -9,6 +9,7 @@
 #include "canopus/node.h"
 #include "simnet/event_queue.h"
 #include "simnet/network.h"
+#include "simnet/payload_testing.h"
 #include "simnet/topology.h"
 #include "workload/stats.h"
 
@@ -62,6 +63,32 @@ void BM_NetworkDelivery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkDelivery);
+
+void BM_MessageTypedAccess(benchmark::State& state) {
+  // The per-delivery dispatch cost every protocol pays: one tag compare per
+  // candidate type (formerly an RTTI dynamic_cast per candidate).
+  simnet::Message m(1, 2, 64, int{7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.as<char>());  // miss
+    benchmark::DoNotOptimize(m.as<int>());   // hit
+  }
+}
+BENCHMARK(BM_MessageTypedAccess);
+
+void BM_PayloadBroadcastFanout(benchmark::State& state) {
+  // Re-addressing a fetched proposal to 26 peers: must copy pointers, not
+  // the 1000-request write set.
+  canopus::proto::Proposal p;
+  p.writes = std::make_shared<const std::vector<canopus::kv::Request>>(
+      std::vector<canopus::kv::Request>(1000));
+  const std::size_t bytes = p.wire_bytes();  // before the move below
+  simnet::Message fetched(0, 1, bytes, std::move(p));
+  for (auto _ : state) {
+    for (NodeId peer = 2; peer < 28; ++peer)
+      benchmark::DoNotOptimize(fetched.readdressed(1, peer));
+  }
+}
+BENCHMARK(BM_PayloadBroadcastFanout);
 
 void BM_LotBuild27(benchmark::State& state) {
   lot::LotConfig cfg;

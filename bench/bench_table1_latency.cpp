@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "simnet/network.h"
+#include "simnet/payload_testing.h"
 #include "simnet/topology.h"
 
 namespace {

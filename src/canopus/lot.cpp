@@ -133,17 +133,24 @@ int Lot::super_leaf_of(NodeId pnode) const {
 
 std::string Lot::name(VnodeId v) const {
   if (v == root_) return "1";
-  std::string suffix;
+  // Collect path components root-ward, then emit them in reverse. (Also
+  // avoids prepending to a growing string, which trips GCC 12's -Wrestrict
+  // false positive in the std::string concat at -O3.)
+  std::vector<std::ptrdiff_t> path;
   VnodeId cur = v;
   while (cur != root_) {
     const VnodeId p = parent_[cur];
     const auto& kids = children_[p];
-    const auto pos =
-        std::find(kids.begin(), kids.end(), cur) - kids.begin() + 1;
-    suffix = "." + std::to_string(pos) + suffix;
+    path.push_back(std::find(kids.begin(), kids.end(), cur) - kids.begin() +
+                   1);
     cur = p;
   }
-  return "1" + suffix;
+  std::string out = "1";
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    out += '.';
+    out += std::to_string(*it);
+  }
+  return out;
 }
 
 EmulationTable::EmulationTable(const Lot& lot)

@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "kv/types.h"
+#include "simnet/payload.h"
 
 namespace canopus::proto {
 
@@ -82,3 +83,9 @@ struct JoinAck {
 };
 
 }  // namespace canopus::proto
+
+CANOPUS_REGISTER_PAYLOAD(canopus::proto::Proposal, kCanopusProposal);
+CANOPUS_REGISTER_PAYLOAD(canopus::proto::ProposalRequest,
+                         kCanopusProposalRequest);
+CANOPUS_REGISTER_PAYLOAD(canopus::proto::JoinRequest, kCanopusJoinRequest);
+CANOPUS_REGISTER_PAYLOAD(canopus::proto::JoinAck, kCanopusJoinAck);

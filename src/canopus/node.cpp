@@ -30,7 +30,7 @@ void CanopusNode::on_start() {
     cb.send = [this](NodeId dst, const raft::WireMsg& m) {
       send(dst, m.wire_bytes(), m);
     };
-    cb.deliver = [this](NodeId origin, const std::any& payload) {
+    cb.deliver = [this](NodeId origin, const simnet::Payload& payload) {
       handle_rb_deliver(origin, payload);
     };
     cb.on_peer_failed = [this](NodeId failed) { handle_peer_failed(failed); };
@@ -38,7 +38,7 @@ void CanopusNode::on_start() {
         node_id(), sl_live_, sim(), std::move(cb), cfg_.raft);
   } else {
     rbcast::Broadcast::Callbacks cb;
-    cb.deliver = [this](NodeId origin, const std::any& payload) {
+    cb.deliver = [this](NodeId origin, const simnet::Payload& payload) {
       handle_rb_deliver(origin, payload);
     };
     cb.on_peer_failed = [this](NodeId failed) { handle_peer_failed(failed); };
@@ -127,8 +127,12 @@ void CanopusNode::serve_read(const kv::Request& r) {
 
 void CanopusNode::flush_replies() {
   for (auto& [client, batch] : reply_buffer_) {
-    if (client != kInvalidNode && !batch.done.empty())
-      send(client, batch.wire_bytes(), std::move(batch));
+    if (client != kInvalidNode && !batch.done.empty()) {
+      // Size before move: argument evaluation order is unspecified, so
+      // wire_bytes() inline could read the moved-from (emptied) batch.
+      const std::size_t bytes = batch.wire_bytes();
+      send(client, bytes, std::move(batch));
+    }
   }
   reply_buffer_.clear();
 }
@@ -257,8 +261,8 @@ void CanopusNode::start_cycle(CycleId c) {
     const CycleState& later = it->second;
     const bool has_traffic =
         !later.parked_requests.empty() ||
-        std::any_of(later.acc.begin(), later.acc.end(),
-                    [](const auto& m) { return !m.empty(); });
+        std::ranges::any_of(later.acc,
+                            [](const auto& m) { return !m.empty(); });
     if (has_traffic) {
       prompted_ = true;
       break;
@@ -285,9 +289,9 @@ void CanopusNode::arm_pipeline_timer() {
 // --------------------------------------------------------------------------
 
 void CanopusNode::handle_rb_deliver(NodeId /*origin*/,
-                                    const std::any& payload) {
+                                    const simnet::Payload& payload) {
   if (crashed_) return;
-  const auto* p = std::any_cast<proto::Proposal>(&payload);
+  const auto* p = payload.as<proto::Proposal>();
   if (p == nullptr) return;
   if (p->cycle > last_started_) {
     prompted_ = true;

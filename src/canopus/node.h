@@ -123,7 +123,7 @@ class CanopusNode : public simnet::Process {
   void handle_client_batch(const kv::ClientBatch& batch);
   void handle_proposal_request(NodeId src, const proto::ProposalRequest& pr);
   void handle_fetched_proposal(const proto::Proposal& p);
-  void handle_rb_deliver(NodeId origin, const std::any& payload);
+  void handle_rb_deliver(NodeId origin, const simnet::Payload& payload);
   void handle_peer_failed(NodeId peer);
 
   // --- cycle machinery ----------------------------------------------------

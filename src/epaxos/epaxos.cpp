@@ -171,7 +171,11 @@ void EPaxosNode::execute(const InstanceId& id) {
   inst.batch.reset();  // executed batches are dead weight
 
   for (auto& [client, batch] : reply_buffer_) {
-    if (!batch.done.empty()) send(client, batch.wire_bytes(), std::move(batch));
+    if (!batch.done.empty()) {
+      // Size before move: argument evaluation order is unspecified.
+      const std::size_t bytes = batch.wire_bytes();
+      send(client, bytes, std::move(batch));
+    }
   }
   reply_buffer_.clear();
 }

@@ -129,3 +129,7 @@ class EPaxosNode : public simnet::Process {
 };
 
 }  // namespace canopus::epaxos
+
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::PreAccept, kEpaxosPreAccept);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::PreAcceptOk, kEpaxosPreAcceptOk);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::Commit, kEpaxosCommit);

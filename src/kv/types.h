@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "simnet/payload.h"
 
 namespace canopus::kv {
 
@@ -45,3 +46,6 @@ struct ReplyBatch {
 };
 
 }  // namespace canopus::kv
+
+CANOPUS_REGISTER_PAYLOAD(canopus::kv::ClientBatch, kKvClientBatch);
+CANOPUS_REGISTER_PAYLOAD(canopus::kv::ReplyBatch, kKvReplyBatch);

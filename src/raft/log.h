@@ -1,11 +1,11 @@
 // Raft replicated log types.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <vector>
 
 #include "common/types.h"
+#include "simnet/payload.h"
 
 namespace canopus::raft {
 
@@ -13,12 +13,14 @@ using Term = std::uint64_t;
 using LogIndex = std::uint64_t;  // 1-based; 0 means "before the log"
 using GroupId = std::uint64_t;
 
-/// A single replicated log entry. The payload is type-erased so that any
-/// layer (reliable broadcast, a KV service, a test) can replicate its own
-/// record type; `bytes` is the payload's wire size for the network model.
+/// A single replicated log entry. The payload rides the typed message bus
+/// (simnet::Payload) so that any layer (reliable broadcast, a KV service, a
+/// test) can replicate its own registered record type; replicating an entry
+/// to N followers shares one payload allocation. `bytes` is the payload's
+/// wire size for the network model.
 struct LogEntry {
   Term term = 0;
-  std::any payload;
+  simnet::Payload payload;
   std::size_t bytes = 0;
   /// Leader-election no-op (the standard fix that lets a new leader commit
   /// entries from prior terms, Raft §5.4.2). Never surfaced via on_commit.

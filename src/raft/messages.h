@@ -51,3 +51,5 @@ struct WireMsg {
 };
 
 }  // namespace canopus::raft
+
+CANOPUS_REGISTER_PAYLOAD(canopus::raft::WireMsg, kRaftWire);

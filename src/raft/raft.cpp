@@ -194,7 +194,7 @@ void RaftNode::notify_commit(NodeId peer) {
   cb_.send(peer, m);
 }
 
-std::optional<LogIndex> RaftNode::propose(std::any payload,
+std::optional<LogIndex> RaftNode::propose(simnet::Payload payload,
                                           std::size_t bytes) {
   if (stopped_ || role_ != Role::kLeader) return std::nullopt;
   log_.append(LogEntry{term_, std::move(payload), bytes});

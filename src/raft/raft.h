@@ -26,6 +26,7 @@
 
 #include "common/types.h"
 #include "raft/messages.h"
+#include "simnet/payload.h"
 #include "simnet/simulator.h"
 
 namespace canopus::raft {
@@ -79,8 +80,9 @@ class RaftNode {
   bool stopped() const { return stopped_; }
 
   /// Proposes a payload for replication. Returns the assigned log index if
-  /// this node is the leader, std::nullopt otherwise.
-  std::optional<LogIndex> propose(std::any payload, std::size_t bytes);
+  /// this node is the leader, std::nullopt otherwise. Replication shares
+  /// the payload allocation across all followers.
+  std::optional<LogIndex> propose(simnet::Payload payload, std::size_t bytes);
 
   /// Feeds an incoming wire message (already routed to this group).
   void on_message(NodeId src, const WireMsg& m);

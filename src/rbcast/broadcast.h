@@ -8,10 +8,11 @@
 //     -> ReliableBroadcast (rbcast/rbcast.h).
 //
 // Canopus is written against this interface, so the substrate is a
-// deployment choice (core::Config::broadcast).
+// deployment choice (core::Config::broadcast). Payloads travel on the typed
+// message bus (simnet::Payload); a broadcast shares one payload allocation
+// across every receiver.
 #pragma once
 
-#include <any>
 #include <functional>
 
 #include "common/types.h"
@@ -25,7 +26,7 @@ class Broadcast {
     /// Deliver a payload broadcast by `origin`. Same-origin payloads are
     /// delivered in broadcast order; all live members deliver the same set
     /// (validity/integrity/agreement).
-    std::function<void(NodeId origin, const std::any& payload)> deliver;
+    std::function<void(NodeId origin, const simnet::Payload& payload)> deliver;
     /// A member was detected failed, at a point consistently ordered with
     /// its delivered broadcasts on every survivor.
     std::function<void(NodeId failed)> on_peer_failed;
@@ -35,7 +36,7 @@ class Broadcast {
 
   virtual void start() = 0;
   virtual void stop() = 0;
-  virtual void broadcast(std::any payload, std::size_t bytes) = 0;
+  virtual void broadcast(simnet::Payload payload, std::size_t bytes) = 0;
 
   /// Feeds a network message; returns true if it belonged to this layer.
   virtual bool handle(const simnet::Message& m) = 0;

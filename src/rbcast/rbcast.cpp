@@ -61,7 +61,7 @@ void ReliableBroadcast::stop() {
   started_ = false;
 }
 
-void ReliableBroadcast::broadcast(std::any payload, std::size_t bytes) {
+void ReliableBroadcast::broadcast(simnet::Payload payload, std::size_t bytes) {
   auto it = groups_.find(self_);
   // A missing own group means this node was suspected failed by its peers
   // and its group dissolved (possible under severe overload). The layer

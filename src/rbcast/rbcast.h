@@ -20,7 +20,6 @@
 // report is what Canopus piggybacks as a membership update (§4.6).
 #pragma once
 
-#include <any>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -39,7 +38,7 @@ class ReliableBroadcast final : public Broadcast {
     std::function<void(NodeId dst, const raft::WireMsg&)> send;
     /// Delivery upcall: `origin` is the broadcasting node. Same-origin
     /// payloads are delivered in broadcast (log) order.
-    std::function<void(NodeId origin, const std::any& payload)> deliver;
+    std::function<void(NodeId origin, const simnet::Payload& payload)> deliver;
     /// A peer was detected failed (its group elected a replacement leader).
     std::function<void(NodeId failed)> on_peer_failed;
   };
@@ -57,7 +56,7 @@ class ReliableBroadcast final : public Broadcast {
 
   /// Reliably broadcasts `payload` to all live super-leaf members,
   /// including the local node (self-delivery happens at local commit).
-  void broadcast(std::any payload, std::size_t bytes) override;
+  void broadcast(simnet::Payload payload, std::size_t bytes) override;
 
   /// Routes an incoming Raft wire message to the right group.
   void on_message(NodeId src, const raft::WireMsg& m);

@@ -35,19 +35,22 @@ bool SwitchBroadcast::is_member(NodeId peer) const {
   return std::find(members_.begin(), members_.end(), peer) != members_.end();
 }
 
-void SwitchBroadcast::emit(Frame f, std::size_t bytes) {
+void SwitchBroadcast::emit(SwitchFrame f, std::size_t bytes) {
   // The switch stamps the frame on ingress: one rack-global sequence.
   f.seq = seq_->next_seq++;
+  // One Payload for the whole fan-out: every member port shares the same
+  // frame allocation (and, transitively, the same inner payload).
+  const simnet::Payload frame(std::move(f));
   for (NodeId m : members_) {
-    net_.send(simnet::Message(self_, m, bytes, f));
+    net_.send(simnet::Message(self_, m, bytes, frame));
   }
 }
 
-void SwitchBroadcast::broadcast(std::any payload, std::size_t bytes) {
+void SwitchBroadcast::broadcast(simnet::Payload payload, std::size_t bytes) {
   if (!running_) return;
-  Frame f;
+  SwitchFrame f;
   f.origin = self_;
-  f.kind = Frame::Kind::kPayload;
+  f.kind = SwitchFrame::Kind::kPayload;
   f.payload = std::move(payload);
   f.bytes = bytes;
   emit(std::move(f), bytes + 32);
@@ -55,9 +58,9 @@ void SwitchBroadcast::broadcast(std::any payload, std::size_t bytes) {
 
 void SwitchBroadcast::heartbeat_tick() {
   if (!running_) return;
-  Frame hb;
+  SwitchFrame hb;
   hb.origin = self_;
-  hb.kind = Frame::Kind::kHeartbeat;
+  hb.kind = SwitchFrame::Kind::kHeartbeat;
   emit(std::move(hb), 48);
 
   // Check for silent peers; a failure notice goes through the sequencer so
@@ -67,9 +70,9 @@ void SwitchBroadcast::heartbeat_tick() {
   for (NodeId m : members_) {
     if (m == self_ || declared_failed_.contains(m)) continue;
     if (sim_.now() - last_heard_[m] > deadline) {
-      Frame fail;
+      SwitchFrame fail;
       fail.origin = self_;
-      fail.kind = Frame::Kind::kFail;
+      fail.kind = SwitchFrame::Kind::kFail;
       fail.failed = m;
       emit(std::move(fail), 48);
     }
@@ -79,7 +82,7 @@ void SwitchBroadcast::heartbeat_tick() {
 }
 
 bool SwitchBroadcast::handle(const simnet::Message& m) {
-  const auto* f = m.as<Frame>();
+  const auto* f = m.as<SwitchFrame>();
   if (f == nullptr) return false;
   if (!running_) return true;
   pending_.emplace(f->seq, *f);
@@ -101,19 +104,19 @@ void SwitchBroadcast::deliver_ready() {
       // heartbeat consumes a sequence number.
       break;
     }
-    Frame f = std::move(it->second);
+    SwitchFrame f = std::move(it->second);
     pending_.erase(it);
     if (f.seq < next_deliver_) continue;  // duplicate
     next_deliver_ = f.seq + 1;
 
     last_heard_[f.origin] = sim_.now();
     switch (f.kind) {
-      case Frame::Kind::kPayload:
+      case SwitchFrame::Kind::kPayload:
         if (cb_.deliver) cb_.deliver(f.origin, f.payload);
         break;
-      case Frame::Kind::kHeartbeat:
+      case SwitchFrame::Kind::kHeartbeat:
         break;
-      case Frame::Kind::kFail:
+      case SwitchFrame::Kind::kFail:
         if (!declared_failed_.contains(f.failed)) {
           declared_failed_.insert(f.failed);
           if (cb_.on_peer_failed) cb_.on_peer_failed(f.failed);

@@ -17,7 +17,6 @@
 // no-op commits.
 #pragma once
 
-#include <any>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -41,6 +40,19 @@ struct SwitchOptions {
   int miss_limit = 4;  ///< heartbeat windows missed before declaring failure
 };
 
+/// One switch-sequenced frame: payload, heartbeat, or failure notice. The
+/// inner payload rides the bus too, so the per-member fan-out and the
+/// out-of-order buffer share one allocation of the (possibly huge) body.
+struct SwitchFrame {
+  std::uint64_t seq = 0;
+  NodeId origin = kInvalidNode;
+  enum class Kind : std::uint8_t { kPayload, kHeartbeat, kFail } kind =
+      Kind::kPayload;
+  NodeId failed = kInvalidNode;  // for kFail
+  simnet::Payload payload;
+  std::size_t bytes = 0;
+};
+
 class SwitchBroadcast final : public Broadcast {
  public:
   /// All members of the super-leaf share `sequencer`. The owning Process
@@ -57,24 +69,14 @@ class SwitchBroadcast final : public Broadcast {
 
   void start() override;
   void stop() override;
-  void broadcast(std::any payload, std::size_t bytes) override;
+  void broadcast(simnet::Payload payload, std::size_t bytes) override;
   bool handle(const simnet::Message& m) override;
   void remove_member(NodeId peer) override;
   void add_member(NodeId peer) override;
   bool is_member(NodeId peer) const override;
 
  private:
-  struct Frame {
-    std::uint64_t seq = 0;
-    NodeId origin = kInvalidNode;
-    enum class Kind : std::uint8_t { kPayload, kHeartbeat, kFail } kind =
-        Kind::kPayload;
-    NodeId failed = kInvalidNode;  // for kFail
-    std::any payload;
-    std::size_t bytes = 0;
-  };
-
-  void emit(Frame f, std::size_t bytes);
+  void emit(SwitchFrame f, std::size_t bytes);
   void deliver_ready();
   void heartbeat_tick();
 
@@ -86,7 +88,7 @@ class SwitchBroadcast final : public Broadcast {
   Callbacks cb_;
   SwitchOptions opt_;
 
-  std::map<std::uint64_t, Frame> pending_;  // out-of-order buffer
+  std::map<std::uint64_t, SwitchFrame> pending_;  // out-of-order buffer
   std::uint64_t next_deliver_ = 0;
   std::unordered_map<NodeId, Time> last_heard_;
   std::unordered_set<NodeId> declared_failed_;
@@ -95,3 +97,5 @@ class SwitchBroadcast final : public Broadcast {
 };
 
 }  // namespace canopus::rbcast
+
+CANOPUS_REGISTER_PAYLOAD(canopus::rbcast::SwitchFrame, kSwitchFrame);

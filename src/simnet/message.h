@@ -1,17 +1,18 @@
-// Type-erased network message.
+// A network message: routing header + typed payload from the message bus.
 //
-// Payloads are held behind a shared_ptr so that a broadcast of a large
-// proposal (Canopus proposals can carry thousands of requests) shares one
-// allocation across all receivers. `wire_bytes` is what the network charges
-// for; it is computed by the protocol from its own serialization rules, so
+// The payload is a simnet::Payload (see payload.h): a shared immutable
+// value, so a broadcast of a large proposal (Canopus proposals can carry
+// thousands of requests) shares one allocation across all receivers.
+// `wire_bytes` is what the network charges for; it is computed by the
+// protocol from its own serialization rules (see DESIGN.md §Messages), so
 // the simulator never needs to actually serialize anything.
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <utility>
 
 #include "common/types.h"
+#include "simnet/payload.h"
 
 namespace canopus::simnet {
 
@@ -19,26 +20,27 @@ class Message {
  public:
   Message() = default;
 
-  template <class T>
-  Message(NodeId src, NodeId dst, std::size_t wire_bytes, T payload)
+  Message(NodeId src, NodeId dst, std::size_t wire_bytes, Payload payload)
       : src_(src),
         dst_(dst),
         wire_bytes_(wire_bytes),
-        payload_(std::make_shared<Model<T>>(std::move(payload))) {}
+        payload_(std::move(payload)) {}
 
   NodeId src() const { return src_; }
   NodeId dst() const { return dst_; }
   std::size_t wire_bytes() const { return wire_bytes_; }
 
-  /// Returns the payload if it has dynamic type T, else nullptr.
+  /// Returns the payload if it carries tag T, else nullptr.
   template <class T>
   const T* as() const {
-    auto* model = dynamic_cast<const Model<T>*>(payload_.get());
-    return model ? &model->value : nullptr;
+    return payload_.as<T>();
   }
+
+  const Payload& payload() const { return payload_; }
 
   /// Re-address the same payload to a different destination (used when a
   /// representative re-broadcasts a fetched proposal inside its super-leaf).
+  /// Shares the payload allocation with the original.
   Message readdressed(NodeId src, NodeId dst) const {
     Message m = *this;
     m.src_ = src;
@@ -47,19 +49,10 @@ class Message {
   }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-  };
-  template <class T>
-  struct Model final : Concept {
-    explicit Model(T v) : value(std::move(v)) {}
-    T value;
-  };
-
   NodeId src_ = kInvalidNode;
   NodeId dst_ = kInvalidNode;
   std::size_t wire_bytes_ = 0;
-  std::shared_ptr<const Concept> payload_;
+  Payload payload_;
 };
 
 }  // namespace canopus::simnet

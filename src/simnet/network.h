@@ -136,8 +136,8 @@ class Process {
   Network& net() const { return *net_; }
 
   /// Sends a typed payload to `dst`, charging `wire_bytes` on the wire.
-  template <class T>
-  void send(NodeId dst, std::size_t wire_bytes, T payload) {
+  /// Any registered wire-message type converts to Payload at this boundary.
+  void send(NodeId dst, std::size_t wire_bytes, Payload payload) {
     net_->send(Message(id_, dst, wire_bytes, std::move(payload)));
   }
 

@@ -1,0 +1,13 @@
+// Message-bus registrations reserved for tests and benches: scalar payload
+// types for probes, ping-pong RTT measurements and harness assertions.
+// Protocol code must not include this header — wire messages belong in the
+// protocol's own header with their own tag.
+#pragma once
+
+#include <string>
+
+#include "simnet/payload.h"
+
+CANOPUS_REGISTER_PAYLOAD(std::string, kTestText);
+CANOPUS_REGISTER_PAYLOAD(int, kTestInt);
+CANOPUS_REGISTER_PAYLOAD(char, kTestChar);

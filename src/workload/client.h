@@ -73,9 +73,11 @@ class OpenLoopClient : public simnet::Process {
       rotate_ = (rotate_ + n) % batches.size();
       sent_ += n;
       for (std::size_t s = 0; s < batches.size(); ++s) {
-        if (!batches[s].reqs.empty())
-          send(cfg_.servers[s], batches[s].wire_bytes(),
-               std::move(batches[s]));
+        if (!batches[s].reqs.empty()) {
+          // Size before move: argument evaluation order is unspecified.
+          const std::size_t bytes = batches[s].wire_bytes();
+          send(cfg_.servers[s], bytes, std::move(batches[s]));
+        }
       }
     }
     after(cfg_.tick, [this] { tick(); });

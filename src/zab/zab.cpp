@@ -189,8 +189,11 @@ void ZabNode::apply(Zxid zxid, const std::vector<kv::Request>& batch) {
 
 void ZabNode::flush_replies() {
   for (auto& [client, batch] : reply_buffer_) {
-    if (client != kInvalidNode && !batch.done.empty())
-      send(client, batch.wire_bytes(), std::move(batch));
+    if (client != kInvalidNode && !batch.done.empty()) {
+      // Size before move: argument evaluation order is unspecified.
+      const std::size_t bytes = batch.wire_bytes();
+      send(client, bytes, std::move(batch));
+    }
   }
   reply_buffer_.clear();
 }

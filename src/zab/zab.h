@@ -146,3 +146,9 @@ class ZabNode : public simnet::Process {
 };
 
 }  // namespace canopus::zab
+
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::Forward, kZabForward);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::Propose, kZabPropose);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::Ack, kZabAck);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::CommitMsg, kZabCommit);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::Inform, kZabInform);

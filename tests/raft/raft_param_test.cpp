@@ -55,8 +55,7 @@ TEST_P(RaftSizeTest, AllMembersCommitSameSequence) {
   for (auto& h : hosts_) {
     ASSERT_EQ(h->commits.size(), 15u);
     for (int i = 0; i < 15; ++i)
-      EXPECT_EQ(std::any_cast<std::string>(
-                    h->commits[static_cast<size_t>(i)].entry.payload),
+      EXPECT_EQ(testutil::text(h->commits[static_cast<size_t>(i)].entry.payload),
                 std::to_string(i));
   }
 }

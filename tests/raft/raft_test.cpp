@@ -20,10 +20,14 @@ class RaftTest : public ::testing::Test {
  protected:
   /// Builds n hosts each running one member of a single group (group 0).
   void build(int n, Options opt = {}, std::uint64_t seed = 42) {
+    // Tear down dependents of the previous simulator BEFORE replacing it:
+    // RaftNode destructors cancel timers on the simulator they were built
+    // with (rebuilds happen in e.g. DeterministicAcrossIdenticalSeeds).
+    hosts_.clear();
+    net_.reset();
     sim_ = std::make_unique<Simulator>(seed);
     cluster_ = small_cluster(n);
     net_ = std::make_unique<Network>(*sim_, cluster_.topo);
-    hosts_.clear();
     hosts_.resize(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
       auto& h = hosts_[static_cast<size_t>(i)];
@@ -88,7 +92,7 @@ TEST_F(RaftTest, ReplicatesAndCommitsOnAllMembers) {
   sim_->run_until(100 * kMillisecond);
   for (auto& h : hosts_) {
     ASSERT_EQ(h->commits.size(), 1u);
-    EXPECT_EQ(std::any_cast<std::string>(h->commits[0].entry.payload),
+    EXPECT_EQ(testutil::text(h->commits[0].entry.payload),
               "hello");
   }
 }
@@ -110,8 +114,7 @@ TEST_F(RaftTest, CommitOrderIsIdentical) {
   for (auto& h : hosts_) {
     ASSERT_EQ(h->commits.size(), 20u);
     for (int i = 0; i < 20; ++i) {
-      EXPECT_EQ(std::any_cast<std::string>(
-                    h->commits[static_cast<size_t>(i)].entry.payload),
+      EXPECT_EQ(testutil::text(h->commits[static_cast<size_t>(i)].entry.payload),
                 std::string(1, static_cast<char>('a' + i)));
     }
   }
@@ -133,8 +136,7 @@ TEST_F(RaftTest, LeaderFailureTriggersReelection) {
   EXPECT_NE(leader, 0);
   // The committed entry survived.
   ASSERT_GE(hosts_[static_cast<size_t>(leader)]->commits.size(), 1u);
-  EXPECT_EQ(std::any_cast<std::string>(
-                hosts_[static_cast<size_t>(leader)]->commits[0].entry.payload),
+  EXPECT_EQ(testutil::text(hosts_[static_cast<size_t>(leader)]->commits[0].entry.payload),
             "committed");
 }
 
@@ -156,7 +158,7 @@ TEST_F(RaftTest, NewLeaderCompletesIncompleteReplication) {
   ASSERT_NE(leader, -1);
   auto& commits = hosts_[static_cast<size_t>(leader)]->commits;
   ASSERT_EQ(commits.size(), 1u);
-  EXPECT_EQ(std::any_cast<std::string>(commits[0].entry.payload), "draft");
+  EXPECT_EQ(testutil::text(commits[0].entry.payload), "draft");
 }
 
 TEST_F(RaftTest, CrashedFollowerCatchesUpAfterRecovery) {
@@ -239,7 +241,7 @@ TEST_F(RaftTest, AddMemberReplicatesHistory) {
   node(2).start(false);
   sim_->run_until(2 * kSecond);
   ASSERT_GE(hosts_[2]->commits.size(), 1u);
-  EXPECT_EQ(std::any_cast<std::string>(hosts_[2]->commits[0].entry.payload),
+  EXPECT_EQ(testutil::text(hosts_[2]->commits[0].entry.payload),
             "old");
 }
 

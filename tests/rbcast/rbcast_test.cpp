@@ -19,10 +19,12 @@ using testutil::small_cluster;
 class RbcastTest : public ::testing::Test {
  protected:
   void build(int n, std::uint64_t seed = 42) {
+    // Old hosts reference the old simulator; destroy them before it goes.
+    hosts_.clear();
+    net_.reset();
     sim_ = std::make_unique<Simulator>(seed);
     cluster_ = small_cluster(n);
     net_ = std::make_unique<Network>(*sim_, cluster_.topo);
-    hosts_.clear();
     for (int i = 0; i < n; ++i) {
       hosts_.push_back(std::make_unique<RbcastHost>());
       net_->attach(cluster_.servers[static_cast<size_t>(i)], *hosts_.back());
@@ -33,7 +35,7 @@ class RbcastTest : public ::testing::Test {
   std::vector<std::string> texts(int host) const {
     std::vector<std::string> out;
     for (const auto& d : hosts_[static_cast<size_t>(host)]->delivered)
-      out.push_back(std::any_cast<std::string>(d.payload));
+      out.push_back(testutil::text(d.payload));
     return out;
   }
 
@@ -96,7 +98,7 @@ TEST_F(RbcastTest, AgreementOnSameOriginPrefix) {
   for (int h = 0; h < 3; ++h) {
     std::vector<std::string> a, c;
     for (const auto& d : hosts_[static_cast<size_t>(h)]->delivered) {
-      const auto s = std::any_cast<std::string>(d.payload);
+      const std::string s = testutil::text(d.payload);
       (s[0] == 'a' ? a : c).push_back(s);
     }
     ASSERT_EQ(a.size(), 5u);

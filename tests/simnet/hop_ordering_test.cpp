@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "simnet/network.h"
+#include "simnet/payload_testing.h"
 #include "simnet/topology.h"
 
 namespace canopus::simnet {

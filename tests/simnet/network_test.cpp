@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "simnet/payload_testing.h"
 #include "simnet/topology.h"
 
 namespace canopus::simnet {
@@ -221,6 +222,48 @@ TEST(MessageTest, ReaddressSharesPayload) {
   EXPECT_EQ(n.src(), 3u);
   EXPECT_EQ(n.dst(), 4u);
   EXPECT_EQ(m.as<std::string>(), n.as<std::string>());  // same object
+}
+
+// The representative re-broadcast path (§4.2): a relay readdresses the
+// incoming Message to its peers and puts it back on the network. Exercises
+// Message::readdressed through Network::send end-to-end and checks that
+// every receiver shares the original payload allocation.
+TEST_F(NetworkTest, ReaddressedRelayDeliversSharedPayload) {
+  struct Relay : Process {
+    std::vector<NodeId> fanout;
+    void on_message(const Message& m) override {
+      for (NodeId dst : fanout)
+        net().send(m.readdressed(node_id(), dst));
+    }
+  };
+  // Build 4 nodes; node 1 relays whatever node 0 sends to nodes 2 and 3.
+  RackConfig cfg;
+  cfg.racks = 1;
+  cfg.servers_per_rack = 4;
+  cfg.clients_per_rack = 0;
+  cluster_ = build_multi_rack(cfg);
+  net_ = std::make_unique<Network>(sim_, cluster_.topo, CpuModel{0, 0, 0.0});
+  procs_.resize(3);  // recorders for nodes 0, 2, 3
+  Relay relay;
+  relay.fanout = {cluster_.servers[2], cluster_.servers[3]};
+  net_->attach(cluster_.servers[0], procs_[0]);
+  net_->attach(cluster_.servers[1], relay);
+  net_->attach(cluster_.servers[2], procs_[1]);
+  net_->attach(cluster_.servers[3], procs_[2]);
+
+  const void* original = nullptr;
+  net_->set_trace([&](Time, const Message& m) {
+    if (original == nullptr) original = m.payload().raw();
+    EXPECT_EQ(m.payload().raw(), original);  // one allocation end to end
+  });
+  sim_.at(0, [&] { procs_[0].say(cluster_.servers[1], 100, "fetched"); });
+  sim_.run();
+  ASSERT_EQ(procs_[1].received.size(), 1u);
+  ASSERT_EQ(procs_[2].received.size(), 1u);
+  EXPECT_EQ(procs_[1].received[0].text, "fetched");
+  EXPECT_EQ(procs_[2].received[0].text, "fetched");
+  EXPECT_EQ(procs_[1].received[0].src, cluster_.servers[1]);
+  EXPECT_NE(original, nullptr);
 }
 
 }  // namespace

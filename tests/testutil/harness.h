@@ -1,6 +1,8 @@
 // Shared test scaffolding: small clusters and protocol-hosting processes.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <functional>
 #include <memory>
 #include <string>
@@ -10,9 +12,18 @@
 #include "raft/raft.h"
 #include "rbcast/rbcast.h"
 #include "simnet/network.h"
+#include "simnet/payload_testing.h"
 #include "simnet/topology.h"
 
 namespace canopus::testutil {
+
+/// Checked accessor for string test payloads: a wrong-typed or empty
+/// payload fails the expectation instead of dereferencing null.
+inline std::string text(const simnet::Payload& p) {
+  const std::string* s = p.as<std::string>();
+  EXPECT_NE(s, nullptr) << "payload does not carry a std::string";
+  return s ? *s : std::string("<non-string payload>");
+}
 
 /// A single-rack cluster of `n` server machines (no clients).
 inline simnet::Cluster small_cluster(int n) {
@@ -82,7 +93,7 @@ class RbcastHost : public simnet::Process {
     cb.send = [this](NodeId dst, const raft::WireMsg& m) {
       send(dst, m.wire_bytes(), m);
     };
-    cb.deliver = [this](NodeId origin, const std::any& payload) {
+    cb.deliver = [this](NodeId origin, const simnet::Payload& payload) {
       delivered.push_back({origin, payload});
     };
     cb.on_peer_failed = [this](NodeId failed) {
@@ -100,7 +111,7 @@ class RbcastHost : public simnet::Process {
 
   struct Delivery {
     NodeId origin;
-    std::any payload;
+    simnet::Payload payload;
   };
 
   std::unique_ptr<rbcast::ReliableBroadcast> rb;
