@@ -7,18 +7,23 @@
 // lowering request completion time and shaving per-node message-processing
 // CPU; the effect on single-DC throughput is modest because Canopus is
 // read/CPU-bound, exactly why the paper treats the substrate as pluggable.
+#include <vector>
+
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header(
+  bench::Harness h(
+      argc, argv, "ablation_broadcast",
       "Ablation: broadcast substrate (27 nodes, 20% writes, 0.8 Mreq/s)",
       "Sec 4.3: Raft variant vs hardware-assisted atomic broadcast");
+  const bool quick = h.quick();
 
-  for (auto kind : {core::BroadcastKind::kRaft, core::BroadcastKind::kSwitch}) {
+  const std::vector<core::BroadcastKind> kinds{core::BroadcastKind::kRaft,
+                                               core::BroadcastKind::kSwitch};
+  std::vector<Measurement> results(kinds.size());
+  h.pool().run_indexed(kinds.size(), [&](std::size_t i) {
     TrialConfig tc;
     tc.system = System::kCanopus;
     tc.groups = 3;
@@ -26,12 +31,19 @@ int main(int argc, char** argv) {
     tc.warmup = 400 * kMillisecond;
     tc.measure = quick ? 600 * kMillisecond : kSecond;
     tc.drain = 400 * kMillisecond;
-    tc.canopus.broadcast = kind;
-    const Measurement m = run_trial(tc, 800'000);
-    bench::print_measurement_row(
-        kind == core::BroadcastKind::kRaft ? "Raft-based reliable broadcast"
-                                           : "switch-assisted atomic broadcast",
-        m);
+    tc.canopus.broadcast = kinds[i];
+    results[i] = run_trial(tc, 800'000);
+  });
+
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const char* label = kinds[i] == core::BroadcastKind::kRaft
+                            ? "Raft-based reliable broadcast"
+                            : "switch-assisted atomic broadcast";
+    bench::print_measurement_row(label, results[i]);
+    auto& sr = h.add_series(label);
+    sr.attr("substrate",
+            kinds[i] == core::BroadcastKind::kRaft ? "raft" : "switch");
+    sr.sweep = {results[i]};
   }
-  return 0;
+  return h.finish();
 }

@@ -67,10 +67,11 @@ Measurement run_shape(int sls, int per_sl, int arity, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = canopus::bench::quick_mode(argc, argv);
-  canopus::bench::print_header(
+  canopus::bench::Harness h(
+      argc, argv, "ablation_lot_shape",
       "Ablation: LOT shape at 27 nodes (20% writes, 1.0 Mreq/s offered)",
       "design discussion in Sec 9");
+  const bool quick = h.quick();
 
   struct Shape {
     const char* name;
@@ -81,13 +82,23 @@ int main(int argc, char** argv) {
       {"9 super-leaves x 3 (height 2)", 9, 3, 0},
       {"9 super-leaves x 3 (arity 3, height 3)", 9, 3, 3},
   };
-  for (const Shape& s : shapes) {
-    const auto m = run_shape(s.sls, s.per_sl, s.arity, 1'000'000, quick);
-    canopus::bench::print_measurement_row(s.name, m);
+  std::vector<Measurement> results(shapes.size());
+  h.pool().run_indexed(shapes.size(), [&](std::size_t i) {
+    results[i] =
+        run_shape(shapes[i].sls, shapes[i].per_sl, shapes[i].arity,
+                  1'000'000, quick);
+  });
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    canopus::bench::print_measurement_row(shapes[i].name, results[i]);
+    auto& sr = h.add_series(shapes[i].name);
+    sr.scalar("super_leaves", shapes[i].sls)
+        .scalar("per_super_leaf", shapes[i].per_sl)
+        .scalar("arity", shapes[i].arity);
+    sr.sweep = {results[i]};
   }
   std::printf("\nExpected: wider super-leaves amortize cross-rack fetches;\n"
               "taller trees add a round of latency per cycle but reduce\n"
               "per-round fan-in — the paper's guidance is to keep\n"
               "super-leaf work shorter than the inter-super-leaf RTT.\n");
-  return 0;
+  return h.finish();
 }

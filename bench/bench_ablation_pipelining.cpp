@@ -11,10 +11,10 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header("Ablation: Canopus pipelining on/off (3 DCs x 3 nodes)",
-                      "design choice from Sec 7.1");
+  bench::Harness h(argc, argv, "ablation_pipelining",
+                   "Ablation: Canopus pipelining on/off (3 DCs x 3 nodes)",
+                   "design choice from Sec 7.1");
+  const bool quick = h.quick();
 
   for (bool pipe : {false, true}) {
     TrialConfig tc;
@@ -30,13 +30,17 @@ int main(int argc, char** argv) {
     std::printf("\n  pipelining %s\n", pipe ? "ON (5ms/1000-req cycles)" : "OFF");
     std::vector<double> rates{30'000, 100'000, 300'000, 1'000'000};
     if (!quick) rates.push_back(2'000'000);
-    for (const auto& m : sweep_rates(make_trial(tc), rates)) {
+    const auto sweep = sweep_rates(h.pool(), make_trial(tc), rates);
+    for (const auto& m : sweep) {
       std::printf("    offered %8.3f M  ->  %8.3f Mreq/s   median %8.2f ms\n",
                   bench::mreq(m.offered), bench::mreq(m.throughput),
                   bench::ms(m.median));
     }
+    auto& sr = h.add_series(pipe ? "pipelining ON" : "pipelining OFF");
+    sr.attr("pipelining", pipe ? "on" : "off");
+    sr.sweep = sweep;
   }
   std::printf("\nExpected: OFF saturates near batch/RTT; ON tracks offered\n"
               "load to millions of requests/second at similar latency.\n");
-  return 0;
+  return h.finish();
 }

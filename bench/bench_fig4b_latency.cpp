@@ -9,6 +9,7 @@
 // write percentage and significantly shorter than EPaxos with 5 ms
 // batching; EPaxos-2ms halves EPaxos' latency at the cost of scalability;
 // Canopus' median only marginally increases from 9 to 27 nodes.
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,11 +17,11 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header(
+  bench::Harness h(
+      argc, argv, "fig4b",
       "Figure 4(b): single-DC median completion time at 70% of max load",
       "Fig 4(b), Sec 8.1.1");
+  const bool quick = h.quick();
 
   const std::vector<int> per_rack = quick ? std::vector<int>{3, 9}
                                           : std::vector<int>{3, 5, 7, 9};
@@ -56,15 +57,22 @@ int main(int argc, char** argv) {
       if (s.batch > 0) tc.epaxos.batch_interval = s.batch;
       auto trial = make_trial(tc);
       const auto res = find_max_throughput(
-          trial, s.system == System::kCanopus ? 400'000 : 200'000, growth,
-          10 * kMillisecond, steps);
+          h.pool(), trial, s.system == System::kCanopus ? 400'000 : 200'000,
+          growth, 10 * kMillisecond, steps);
       const Measurement at70 = trial(0.7 * res.max.throughput);
       std::printf("%8d  %-22s  %16.3f  %14.3f\n", 3 * pr, s.name,
                   bench::ms(at70.median), bench::ms(at70.p99));
+      h.add_series(std::string(s.name) + " @ " + std::to_string(3 * pr) +
+                   " nodes")
+          .attr("system", system_name(s.system))
+          .scalar("nodes", 3 * pr)
+          .scalar("write_ratio", s.writes)
+          .search(res)
+          .point("at_70pct_of_max", at70);
     }
   }
   std::printf(
       "\nShape vs paper: Canopus median < EPaxos-5ms at every size; EPaxos\n"
       "trades completion time for scalability when batching is reduced.\n");
-  return 0;
+  return h.finish();
 }

@@ -12,6 +12,7 @@
 // ("increases the throughput of ZooKeeper by more than 16x"). When
 // unloaded, ZKCanopus' completion time is slightly higher (tree overlay
 // round trips vs direct broadcast).
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -19,11 +20,11 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header(
+  bench::Harness h(
+      argc, argv, "fig5",
       "Figure 5: ZKCanopus vs ZooKeeper (throughput vs median latency)",
       "Fig 5, Sec 8.1.2");
+  const bool quick = h.quick();
 
   for (int pr : {3, 9}) {
     std::printf("\n--- %d nodes ---\n", 3 * pr);
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
       for (double r = zk ? 20'000 : 100'000;
            r <= (zk ? 800'000 : 4'000'000); r *= quick ? 2.4 : 1.7)
         rates.push_back(r);
-      const auto sweep = sweep_rates(make_trial(tc), rates);
+      const auto sweep = sweep_rates(h.pool(), make_trial(tc), rates);
 
       std::printf("  %s\n", zk ? "ZooKeeper (leader + 5 followers + observers)"
                                : "ZKCanopus (all nodes in consensus)");
@@ -59,7 +60,13 @@ int main(int argc, char** argv) {
       }
       std::printf("    max healthy throughput: %.3f Mreq/s\n",
                   bench::mreq(best));
+      auto& sr = h.add_series(std::string(zk ? "ZooKeeper" : "ZKCanopus") +
+                              " @ " + std::to_string(3 * pr) + " nodes");
+      sr.attr("system", system_name(tc.system))
+          .scalar("nodes", 3 * pr)
+          .scalar("max_healthy_req_s", best);
+      sr.sweep = sweep;
     }
   }
-  return 0;
+  return h.finish();
 }

@@ -10,6 +10,7 @@
 // its throughput GROWS with the number of datacenters (2.6 -> 3.8 -> 4.7 M
 // in the paper); EPaxos stays several times lower. Completion times are
 // WAN-RTT-bound for both.
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,11 +18,10 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header(
-      "Figure 6: multi-DC throughput and median completion time",
-      "Fig 6, Sec 8.2");
+  bench::Harness h(argc, argv, "fig6",
+                   "Figure 6: multi-DC throughput and median completion time",
+                   "Fig 6, Sec 8.2");
+  const bool quick = h.quick();
 
   std::vector<double> canopus_max;
   std::vector<double> epaxos_max;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       for (double r = canopus ? 200'000 : 100'000;
            r <= (canopus ? 4'000'000 : 1'200'000); r *= quick ? 2.3 : 1.7)
         rates.push_back(r);
-      const auto sweep = sweep_rates(make_trial(tc), rates);
+      const auto sweep = sweep_rates(h.pool(), make_trial(tc), rates);
 
       std::printf("  %s\n", canopus ? "Canopus (pipelined, 5ms/1000-req cycles)"
                                     : "EPaxos (5ms batches, 0%% interference)");
@@ -69,18 +69,29 @@ int main(int argc, char** argv) {
       std::printf("    max throughput at <=1.5x base latency: %.3f Mreq/s\n",
                   bench::mreq(best));
       (canopus ? canopus_max : epaxos_max).push_back(best);
+      auto& sr = h.add_series(std::string(canopus ? "Canopus" : "EPaxos") +
+                              " @ " + std::to_string(dcs) + " DCs");
+      sr.attr("system", system_name(tc.system))
+          .scalar("datacenters", dcs)
+          .scalar("max_at_1p5x_base_latency_req_s", best);
+      sr.sweep = sweep;
     }
   }
 
   std::printf("\nShape vs paper:\n");
   for (std::size_t i = 0; i < dc_counts.size(); ++i) {
+    const double ratio =
+        epaxos_max[i] > 0 ? canopus_max[i] / epaxos_max[i] : 0.0;
     std::printf("  %d DCs: Canopus/EPaxos = %.1fx (paper: ~4x-13.6x)\n",
-                dc_counts[i],
-                epaxos_max[i] > 0 ? canopus_max[i] / epaxos_max[i] : 0.0);
+                dc_counts[i], ratio);
+    h.add_scalar("canopus_over_epaxos_" + std::to_string(dc_counts[i]) + "dc",
+                 ratio);
   }
+  const double scaling = canopus_max.front() > 0
+                             ? canopus_max.back() / canopus_max.front()
+                             : 0.0;
   std::printf("  Canopus scaling %d->%d DCs: %.2fx (paper: grows, 2.6->4.7M)\n",
-              dc_counts.front(), dc_counts.back(),
-              canopus_max.front() > 0 ? canopus_max.back() / canopus_max.front()
-                                      : 0.0);
-  return 0;
+              dc_counts.front(), dc_counts.back(), scaling);
+  h.add_scalar("canopus_dc_scaling", scaling);
+  return h.finish();
 }

@@ -12,10 +12,10 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  const bool quick = bench::quick_mode(argc, argv);
-
-  bench::print_header("Figure 7: write-ratio sweep, 3 DCs x 3 nodes",
-                      "Fig 7, Sec 8.2.1");
+  bench::Harness h(argc, argv, "fig7",
+                   "Figure 7: write-ratio sweep, 3 DCs x 3 nodes",
+                   "Fig 7, Sec 8.2.1");
+  const bool quick = h.quick();
 
   struct Series {
     const char* name;
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     std::vector<double> rates;
     for (double r = 100'000; r <= 4'000'000; r *= quick ? 2.3 : 1.7)
       rates.push_back(r);
-    const auto sweep = sweep_rates(make_trial(tc), rates);
+    const auto sweep = sweep_rates(h.pool(), make_trial(tc), rates);
 
     std::printf("\n  %s\n", s.name);
     const Time base = sweep.front().median;
@@ -62,8 +62,15 @@ int main(int argc, char** argv) {
                 bench::mreq(best));
     if (s.system == System::kCanopus && s.writes == 0.5) canopus50 = best;
     if (s.system == System::kEPaxos) epaxos20 = best;
+    auto& sr = h.add_series(s.name);
+    sr.attr("system", system_name(s.system))
+        .scalar("write_ratio", s.writes)
+        .scalar("max_at_1p5x_base_latency_req_s", best);
+    sr.sweep = sweep;
   }
+  const double ratio = epaxos20 > 0 ? canopus50 / epaxos20 : 0.0;
   std::printf("\nShape vs paper: Canopus-50%% / EPaxos = %.1fx (paper: ~2.5x)\n",
-              epaxos20 > 0 ? canopus50 / epaxos20 : 0.0);
-  return 0;
+              ratio);
+  h.add_scalar("canopus50_over_epaxos20", ratio);
+  return h.finish();
 }

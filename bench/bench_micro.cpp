@@ -3,7 +3,9 @@
 // histogram recording, and a whole miniature consensus cycle.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "canopus/lot.h"
 #include "canopus/node.h"
@@ -27,6 +29,24 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueArmCancelChurn(benchmark::State& state) {
+  // The Canopus pipeline-timer pattern: arm a far-future watchdog, cancel
+  // it almost immediately, repeat — with only a trickle of events actually
+  // firing. Stresses how the queue handles cancelled entries.
+  simnet::EventQueue q;
+  Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      const auto id = q.schedule(t + kSecond, [] {});
+      q.cancel(id);
+    }
+    q.schedule(t, [] {});
+    benchmark::DoNotOptimize(q.pop().second);
+    t += 10;
+  }
+}
+BENCHMARK(BM_EventQueueArmCancelChurn);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   simnet::Simulator sim;
@@ -164,4 +184,29 @@ BENCHMARK(BM_CanopusFullCycle)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_micro.json
+// so the microbenches land next to the figure benches' BENCH_*.json files.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false, has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0)
+      has_fmt = true;
+  }
+  // Inject the default only when the user asked for neither flag: a lone
+  // --benchmark_out_format means console/CSV output on the user's terms,
+  // and pairing it with an injected .json path would corrupt the file.
+  char out[] = "--benchmark_out=BENCH_micro.json";
+  char fmt[] = "--benchmark_out_format=json";
+  if (!has_out && !has_fmt) {
+    args.push_back(out);
+    args.push_back(fmt);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

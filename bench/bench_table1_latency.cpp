@@ -3,6 +3,7 @@
 // drives every multi-DC experiment.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "simnet/network.h"
@@ -36,10 +37,11 @@ struct Pinger : simnet::Process {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace canopus;
-  bench::print_header("Table 1 calibration: inter-DC round-trip times (ms)",
-                      "Table 1 (measured EC2 latencies)");
+  bench::Harness h(argc, argv, "table1",
+                   "Table 1 calibration: inter-DC round-trip times (ms)",
+                   "Table 1 (measured EC2 latencies)");
 
   const auto& rtt = simnet::table1_rtt_ms();
   const auto& names = simnet::table1_site_names();
@@ -49,6 +51,8 @@ int main() {
   wc.servers_per_dc.assign(static_cast<std::size_t>(dcs), 1);
   wc.rtt_ms = rtt;
   simnet::Cluster cluster = simnet::build_multi_dc(wc);
+
+  auto& matrix = h.add_series("rtt_matrix");
 
   // No CPU cost: we are measuring pure propagation like ping does.
   double max_err = 0;
@@ -83,6 +87,9 @@ int main() {
       const double measured = static_cast<double>(pinger.rtt) / kMillisecond;
       const double expect = rtt[static_cast<size_t>(i)][static_cast<size_t>(j)];
       max_err = std::max(max_err, std::abs(measured - expect));
+      matrix.scalar(std::string(names[static_cast<size_t>(i)]) + "-" +
+                        names[static_cast<size_t>(j)] + "_ms",
+                    measured);
       std::printf("%10.2f", measured);
     }
     std::printf("\n");
@@ -90,5 +97,6 @@ int main() {
   std::printf("\n  paper values: IR-CA 133, FF-SY 322, TK intra 0.13, ...\n");
   std::printf("  max |measured - paper| = %.3f ms (serialization of the 64B probe)\n",
               max_err);
-  return 0;
+  h.add_scalar("max_abs_error_ms", max_err);
+  return h.finish();
 }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by the figure benches.
+
+Usage: validate_bench_json.py FILE [FILE ...]
+
+Checks the canopus-bench-v1 schema (see bench/bench_util.h and
+EXPERIMENTS.md): top-level metadata, and for every series the attrs /
+scalars / sweep / max / points shapes. Exits nonzero on the first
+violation. BENCH_micro.json (google-benchmark's own format) is validated
+separately with a lighter check.
+"""
+import json
+import sys
+
+MEASUREMENT_KEYS = {
+    "offered_req_s": (int, float),
+    "throughput_req_s": (int, float),
+    "median_ns": int,
+    "p99_ns": int,
+    "mean_ns": (int, float),
+    "completed": int,
+}
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_measurement(path, m, where):
+    if not isinstance(m, dict):
+        fail(path, f"{where}: measurement is not an object")
+    for key, types in MEASUREMENT_KEYS.items():
+        if key not in m:
+            fail(path, f"{where}: missing measurement key '{key}'")
+        if not isinstance(m[key], types) or isinstance(m[key], bool):
+            fail(path, f"{where}: '{key}' has wrong type {type(m[key])}")
+    if m["completed"] < 0 or m["median_ns"] < 0:
+        fail(path, f"{where}: negative count/latency")
+
+
+def check_figure(path, doc):
+    for key, typ in [("schema", str), ("figure", str), ("title", str),
+                     ("paper_ref", str), ("mode", str), ("threads", int),
+                     ("wall_clock_seconds", (int, float)),
+                     ("scalars", dict), ("series", list)]:
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+        if not isinstance(doc[key], typ):
+            fail(path, f"'{key}' has wrong type {type(doc[key])}")
+    if doc["schema"] != "canopus-bench-v1":
+        fail(path, f"unknown schema '{doc['schema']}'")
+    if doc["mode"] not in ("quick", "full"):
+        fail(path, f"unknown mode '{doc['mode']}'")
+    if doc["threads"] < 1:
+        fail(path, "threads < 1")
+    for name, value in doc["scalars"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(path, f"figure scalar '{name}' is not a number")
+    if not doc["series"]:
+        fail(path, "no series recorded")
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        for key, typ in [("name", str), ("attrs", dict), ("scalars", dict),
+                         ("sweep", list), ("points", dict)]:
+            if key not in s:
+                fail(path, f"{where}: missing key '{key}'")
+            if not isinstance(s[key], typ):
+                fail(path, f"{where}: '{key}' has wrong type")
+        for k, v in s["attrs"].items():
+            if not isinstance(v, str):
+                fail(path, f"{where}: attr '{k}' is not a string")
+        for k, v in s["scalars"].items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(path, f"{where}: scalar '{k}' is not a number")
+        for j, m in enumerate(s["sweep"]):
+            check_measurement(path, m, f"{where}.sweep[{j}]")
+        if s["max"] is not None:
+            check_measurement(path, s["max"], f"{where}.max")
+        for label, m in s["points"].items():
+            check_measurement(path, m, f"{where}.points[{label}]")
+
+
+def check_micro(path, doc):
+    # google-benchmark JSON: context + benchmarks with real_time numbers.
+    if "context" not in doc or "benchmarks" not in doc:
+        fail(path, "missing google-benchmark 'context'/'benchmarks'")
+    if not doc["benchmarks"]:
+        fail(path, "no benchmarks recorded")
+    for b in doc["benchmarks"]:
+        if "name" not in b or "real_time" not in b:
+            fail(path, f"benchmark entry missing name/real_time: {b}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        if isinstance(doc, dict) and doc.get("schema") == "canopus-bench-v1":
+            check_figure(path, doc)
+        else:
+            check_micro(path, doc)
+        print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,6 +19,16 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derives an independent seed from a base seed and a salt (e.g. a trial
+/// index or the bit pattern of an offered rate): experiment harnesses use
+/// this so every trial gets its own RNG stream regardless of the order —
+/// or the thread — trials run in.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t s = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t out = splitmix64(s);
+  return out ^ splitmix64(s);
+}
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

@@ -1,40 +1,85 @@
 #include "simnet/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace canopus::simnet {
 
+namespace {
+// An EventId packs {generation, slot+1}; slot+1 keeps every valid id nonzero
+// so kInvalidEvent (0) can never name a slot.
+constexpr EventId pack(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | (slot + 1);
+}
+}  // namespace
+
 EventId EventQueue::schedule(Time t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  handlers_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  heap_.push_back(Entry{t, s.seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return id;
+  return pack(s.gen, slot);
+}
+
+void EventQueue::disarm(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // release the closure now, not at compaction
+  s.seq = 0;
+  ++s.gen;
+  free_.push_back(slot);
+  --live_;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) --live_;
+  if (id == kInvalidEvent) return;
+  const auto slot = static_cast<std::uint32_t>((id & 0xffffffffULL) - 1);
+  if (slot >= slots_.size()) return;
+  const Slot& s = slots_[slot];
+  if (s.gen != static_cast<std::uint32_t>(id >> 32) || s.seq == 0) return;
+  disarm(slot);
+  // The heap still holds a stale record for this event. Compact once stale
+  // records dominate, so cancel-heavy workloads stay at O(live) memory while
+  // occasional cancels cost nothing extra.
+  if (heap_.size() > 64 && heap_.size() > 2 * live_) compact();
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) heap_.pop();
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 Time EventQueue::next_time() {
   skip_cancelled();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 std::pair<Time, std::function<void()>> EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = handlers_.find(top.id);
-  std::pair<Time, std::function<void()>> result{top.time, std::move(it->second)};
-  handlers_.erase(it);
-  --live_;
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  std::pair<Time, std::function<void()>> result{top.time,
+                                                std::move(slots_[top.slot].fn)};
+  disarm(top.slot);
   return result;
 }
 

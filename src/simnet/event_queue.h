@@ -1,10 +1,16 @@
 // Priority event queue with O(log n) schedule/pop and O(1) cancellation.
+//
+// Storage is slot-based: handlers live in a recycled slot vector (no
+// per-event map allocation) and the heap holds plain {time, seq, slot}
+// records. Cancellation disarms the slot immediately (freeing the closure)
+// and leaves a stale heap record behind; stale records are skipped at pop
+// and compacted away whenever they outnumber live ones, so arm/cancel
+// churn — e.g. a pipeline timer re-armed every cycle — keeps both the heap
+// and the handler storage bounded at O(live events).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -17,12 +23,13 @@ inline constexpr EventId kInvalidEvent = 0;
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `t`. Events at equal times fire in
-  /// schedule order (the id doubles as the tiebreak), keeping runs
-  /// deterministic.
+  /// schedule order (a monotonic sequence number is the tiebreak), keeping
+  /// runs deterministic.
   EventId schedule(Time t, std::function<void()> fn);
 
   /// Cancels a pending event; cancelling an already-fired or invalid id is a
-  /// no-op.
+  /// no-op. (Ids carry a per-slot generation, so a stale id can only collide
+  /// with a later event after 2^32 reuses of one slot.)
   void cancel(EventId id);
 
   bool empty() const { return live_ == 0; }
@@ -34,20 +41,36 @@ class EventQueue {
   /// Pops and returns the earliest pending event. Precondition: !empty().
   std::pair<Time, std::function<void()>> pop();
 
+  /// Diagnostics: heap records currently held, including not-yet-compacted
+  /// cancelled ones. Lazy compaction bounds this at O(size()).
+  std::size_t heap_entries() const { return heap_.size(); }
+
  private:
   struct Entry {
     Time time;
-    EventId id;
-    friend bool operator>(const Entry& a, const Entry& b) {
-      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    std::uint64_t seq;   ///< schedule order; unique, so the order is total
+    std::uint32_t slot;
+  };
+  struct Later {  // std::greater-style comparator for a min-heap
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::function<void()> fn;
+    std::uint64_t seq = 0;   ///< seq of the armed event, 0 when disarmed
+    std::uint32_t gen = 0;   ///< bumped on every disarm; validates EventIds
+  };
 
+  bool entry_live(const Entry& e) const { return slots_[e.slot].seq == e.seq; }
+  void disarm(std::uint32_t slot);
+  void compact();
   void skip_cancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  EventId next_id_ = 1;
+  std::vector<Entry> heap_;          ///< std::push_heap/pop_heap with Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< disarmed slots ready for reuse
+  std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };
 

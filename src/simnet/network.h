@@ -30,8 +30,9 @@ namespace canopus::simnet {
 
 class Process;
 
-/// Per-node processing cost parameters, calibrated in EXPERIMENTS.md.
-/// Protocol-level per-request work is charged separately via
+/// Per-node processing cost parameters; the experiment defaults and their
+/// calibration rationale are documented in EXPERIMENTS.md ("Cost-model
+/// parameters"). Protocol-level per-request work is charged separately via
 /// Network::busy() by each protocol implementation.
 struct CpuModel {
   Time send_fixed = 1'000;    ///< ns per message sent

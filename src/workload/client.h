@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "common/rng.h"
 #include "kv/types.h"
@@ -33,7 +34,13 @@ class OpenLoopClient : public simnet::Process {
  public:
   OpenLoopClient(ClientConfig cfg, std::shared_ptr<LatencyRecorder> rec,
                  std::uint64_t seed)
-      : cfg_(cfg), rec_(std::move(rec)), rng_(seed) {}
+      : cfg_(std::move(cfg)), rec_(std::move(rec)), rng_(seed) {
+    // tick() round-robins batches over cfg_.servers; an empty server list
+    // would divide by zero there, so fail loudly at construction instead.
+    if (cfg_.servers.empty())
+      throw std::invalid_argument(
+          "OpenLoopClient: ClientConfig.servers must be non-empty");
+  }
 
   void on_start() override { tick(); }
 

@@ -7,6 +7,7 @@
 // sweep_rates to regenerate the paper's figures.
 #pragma once
 
+#include <bit>
 #include <memory>
 #include <vector>
 
@@ -72,7 +73,13 @@ struct TrialConfig {
 /// Runs one trial at `offered_rate` total requests/second (spread evenly
 /// over all client machines) and reports client-observed completions.
 inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
-  simnet::Simulator sim(tc.seed);
+  // Per-trial derived seed: every offered rate gets its own RNG stream, so
+  // a trial's result depends only on (config, rate) — never on which order
+  // or thread the harness ran it in — and sweep points are statistically
+  // independent rather than replaying one stream at different loads.
+  const std::uint64_t trial_seed =
+      derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate));
+  simnet::Simulator sim(trial_seed);
 
   simnet::Cluster cluster;
   if (tc.wan) {
@@ -131,7 +138,7 @@ inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
   const double per_machine_rate =
       offered_rate / static_cast<double>(cluster.clients.size());
   std::vector<std::unique_ptr<OpenLoopClient>> clients;
-  Rng seeder(tc.seed ^ 0xc11e57ULL);
+  Rng seeder(derive_seed(trial_seed, 0xc11e57ULL));
   for (std::size_t i = 0; i < cluster.clients.size(); ++i) {
     ClientConfig cc;
     // Paper: each client connects to a uniformly-selected node in the same

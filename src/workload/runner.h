@@ -36,32 +36,83 @@ inline Measurement measure(const LatencyRecorder& rec, double offered) {
 /// returns its measurement.
 using TrialFn = std::function<Measurement(double offered_rate)>;
 
+// Shared defaults of the serial and parallel (trial_pool.h) searches — one
+// definition so the two overloads cannot silently diverge.
+inline constexpr double kDefaultGrowth = 1.4;
+inline constexpr Time kDefaultLatencyCap = 10 * kMillisecond;
+inline constexpr int kDefaultMaxSteps = 20;
+inline constexpr int kDefaultPlateauSteps = 3;
+
 struct SearchResult {
   Measurement max;                    ///< highest-throughput healthy point
   std::vector<Measurement> sweep;     ///< every point visited
 };
 
+namespace detail {
+
+/// The stop rules of the paper's ramp, applied one measurement at a time so
+/// the serial loop and the speculative parallel search share one definition
+/// (and therefore produce bit-identical sweeps).
+class SearchStepper {
+ public:
+  SearchStepper(Time latency_cap, int plateau_steps)
+      : latency_cap_(latency_cap), plateau_steps_(plateau_steps) {}
+
+  /// Folds in the next ramp point; returns true when the search must stop.
+  bool step(const Measurement& m) {
+    out.sweep.push_back(m);
+    const bool healthy = m.median <= latency_cap_ && m.completed > 0;
+    if (!healthy) return true;  // latency cap: the last point is kept in the
+                                // sweep but never as the max
+    if (m.throughput > out.max.throughput) {
+      out.max = m;
+      flat_ = 0;
+    } else if (++flat_ >= plateau_steps_) {
+      return true;  // plateau: K consecutive healthy steps without improvement
+    }
+    // Saturation: completions fall well behind offered load.
+    return m.throughput < 0.7 * m.offered;
+  }
+
+  /// The exact rate schedule the serial loop visits (repeated
+  /// multiplication, not pow(), so parallel evaluation sees identical bits).
+  static std::vector<double> schedule(double start, double growth, int steps) {
+    std::vector<double> rates;
+    rates.reserve(static_cast<std::size_t>(steps > 0 ? steps : 0));
+    double r = start;
+    for (int i = 0; i < steps; ++i) {
+      rates.push_back(r);
+      r *= growth;
+    }
+    return rates;
+  }
+
+  SearchResult out;
+
+ private:
+  Time latency_cap_;
+  int plateau_steps_;
+  int flat_ = 0;
+};
+
+}  // namespace detail
+
 /// Geometric rate ramp per the paper: raise the rate until the median
-/// completion time crosses `latency_cap` (10 ms in §8.1) or throughput
-/// stops improving; report the best healthy point.
+/// completion time crosses `latency_cap` (10 ms in §8.1) or the throughput
+/// reaches a plateau — `plateau_steps` consecutive healthy steps without a
+/// new best (§8.1 "until the throughput reaches a plateau"); report the
+/// best healthy point.
 inline SearchResult find_max_throughput(const TrialFn& trial,
                                         double start_rate,
-                                        double growth = 1.4,
-                                        Time latency_cap = 10 * kMillisecond,
-                                        int max_steps = 20) {
-  SearchResult out;
-  double rate = start_rate;
-  for (int i = 0; i < max_steps; ++i) {
-    Measurement m = trial(rate);
-    out.sweep.push_back(m);
-    const bool healthy = m.median <= latency_cap && m.completed > 0;
-    if (healthy && m.throughput > out.max.throughput) out.max = m;
-    if (!healthy) break;
-    // Saturation: completions fall well behind offered load.
-    if (m.throughput < 0.7 * m.offered) break;
-    rate *= growth;
-  }
-  return out;
+                                        double growth = kDefaultGrowth,
+                                        Time latency_cap = kDefaultLatencyCap,
+                                        int max_steps = kDefaultMaxSteps,
+                                        int plateau_steps = kDefaultPlateauSteps) {
+  detail::SearchStepper stepper(latency_cap, plateau_steps);
+  for (double rate :
+       detail::SearchStepper::schedule(start_rate, growth, max_steps))
+    if (stepper.step(trial(rate))) break;
+  return std::move(stepper.out);
 }
 
 /// Fixed-rate sweep for latency-vs-throughput curves (Figures 5 and 6).

@@ -29,9 +29,13 @@ class LatencyHistogram {
                              static_cast<double>(count_);
   }
 
-  /// p in [0, 1]; returns a representative latency (ns) for that quantile.
+  /// Returns a representative latency (ns) for quantile `p`; out-of-range
+  /// (or NaN) inputs clamp to [0, 1] rather than indexing past the
+  /// distribution or underflowing the `count_ - 1` rank arithmetic.
   Time percentile(double p) const {
     if (count_ == 0) return 0;
+    if (!(p > 0.0)) p = 0.0;  // also catches NaN
+    if (p > 1.0) p = 1.0;
     std::uint64_t target =
         static_cast<std::uint64_t>(p * static_cast<double>(count_ - 1));
     std::uint64_t seen = 0;

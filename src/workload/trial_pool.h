@@ -1,0 +1,177 @@
+// Thread-pool trial runner for the experiment harness.
+//
+// A trial is one fresh, seeded Simulator run (workload::run_trial): a pure
+// function of its config and offered rate with no shared mutable state, so
+// independent trials can execute on worker threads concurrently. The pool
+// assigns results by index, which makes every parallel driver below
+// bit-identical to its serial counterpart — the paper-figure sweeps are
+// reproducible regardless of --threads.
+//
+// find_max_throughput parallelizes *speculatively*: the geometric rate
+// schedule is known up front, so each wave of `threads` ramp points runs
+// concurrently and the serial stop rules (latency cap, plateau, saturation)
+// are then applied in ramp order, discarding any speculated points past the
+// stop. The sweep returned is exactly the serial sweep.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "workload/runner.h"
+
+namespace canopus::workload {
+
+/// Fixed-size pool of persistent workers executing indexed task batches.
+/// The calling thread participates as a worker, so TrialPool(1) runs
+/// everything on the caller with no synchronization surprises.
+class TrialPool {
+ public:
+  /// `threads` = 0 picks the hardware concurrency (min 1).
+  explicit TrialPool(unsigned threads = 0)
+      : threads_(threads != 0 ? threads : default_threads()) {
+    for (unsigned i = 1; i < threads_; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~TrialPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  static unsigned default_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc != 0 ? hc : 1;
+  }
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(0) ... fn(n-1), each exactly once, spread over the workers and
+  /// the calling thread; returns when all have finished. Not reentrant: fn
+  /// must not call run_indexed on the same pool. If any invocation throws,
+  /// the first exception is rethrown here after the batch drains.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads_ == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      n_ = n;
+      next_ = 0;
+      pending_ = n;
+      error_ = nullptr;
+      ++batch_;
+    }
+    work_cv_.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  /// Claims and runs batch indices until none remain. Runs on workers and
+  /// on the caller inside run_indexed.
+  void drain() {
+    for (;;) {
+      const std::function<void(std::size_t)>* fn;
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (next_ >= n_) return;
+        i = next_++;
+        fn = fn_;
+      }
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return stop_ || batch_ != seen; });
+        if (stop_) return;
+        seen = batch_;
+      }
+      drain();
+    }
+  }
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t next_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t batch_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+/// Parallel fixed-rate sweep: same results as the serial sweep_rates, in the
+/// same order. `trial` must be safe to invoke concurrently (run_trial is:
+/// each call builds an isolated Simulator from a per-trial derived seed).
+inline std::vector<Measurement> sweep_rates(TrialPool& pool,
+                                            const TrialFn& trial,
+                                            const std::vector<double>& rates) {
+  std::vector<Measurement> out(rates.size());
+  pool.run_indexed(rates.size(),
+                   [&](std::size_t i) { out[i] = trial(rates[i]); });
+  return out;
+}
+
+/// Parallel (speculative) version of find_max_throughput: evaluates the
+/// geometric ramp in waves of `pool.threads()` concurrent trials, then
+/// applies the stop rules in ramp order. Bit-identical to the serial search
+/// — speculated points past the stop are discarded, never reported.
+inline SearchResult find_max_throughput(TrialPool& pool, const TrialFn& trial,
+                                        double start_rate,
+                                        double growth = kDefaultGrowth,
+                                        Time latency_cap = kDefaultLatencyCap,
+                                        int max_steps = kDefaultMaxSteps,
+                                        int plateau_steps = kDefaultPlateauSteps) {
+  detail::SearchStepper stepper(latency_cap, plateau_steps);
+  const std::vector<double> rates =
+      detail::SearchStepper::schedule(start_rate, growth, max_steps);
+  const std::size_t wave = pool.threads() > 0 ? pool.threads() : 1;
+  for (std::size_t base = 0; base < rates.size(); base += wave) {
+    const std::size_t n = std::min(wave, rates.size() - base);
+    std::vector<Measurement> ms(n);
+    pool.run_indexed(
+        n, [&](std::size_t j) { ms[j] = trial(rates[base + j]); });
+    for (std::size_t j = 0; j < n; ++j)
+      if (stepper.step(ms[j])) return std::move(stepper.out);
+  }
+  return std::move(stepper.out);
+}
+
+}  // namespace canopus::workload

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace canopus::simnet {
@@ -67,6 +68,91 @@ TEST(EventQueue, DoubleCancelCountsOnce) {
   q.cancel(id);
   q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ArmCancelChurnKeepsHeapBounded) {
+  // The pipeline-timer pattern: arm a far-future event, cancel it, repeat.
+  // The old map-backed queue left every cancelled record in the heap; the
+  // slot-based queue must compact them, keeping memory at O(live events).
+  EventQueue q;
+  q.schedule(1'000'000, [] {});  // one long-lived event stays armed
+  std::size_t max_heap = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    EventId id = q.schedule(500'000 + i, [] {});
+    q.cancel(id);
+    max_heap = std::max(max_heap, q.heap_entries());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  // Compaction triggers at max(64, 2 * live): churn can never push the heap
+  // past a small constant here, let alone the 100k of the old behaviour.
+  EXPECT_LE(max_heap, 130u);
+}
+
+TEST(EventQueue, CancelledIdDoesNotAffectSlotReuse) {
+  // A cancelled event's slot is recycled for the next schedule; the stale
+  // EventId must not be able to cancel the new occupant.
+  EventQueue q;
+  EventId old_id = q.schedule(10, [] {});
+  q.cancel(old_id);
+  bool fired = false;
+  q.schedule(20, [&] { fired = true; });  // reuses the slot
+  q.cancel(old_id);                       // stale id: must be a no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, PoppedIdCannotCancelSlotSuccessor) {
+  EventQueue q;
+  EventId first = q.schedule(10, [] {});
+  q.pop().second();
+  bool fired = false;
+  q.schedule(20, [&] { fired = true; });
+  q.cancel(first);  // already fired; its slot now belongs to the new event
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ChurnPreservesDeterministicOrder) {
+  // Interleave schedules and cancels, then check the survivors fire in
+  // (time, schedule-order): compaction and slot reuse must not disturb the
+  // deterministic tiebreak.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  int label = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int j = 0; j < 4; ++j) {
+      const int l = label++;
+      const Time t = (l * 37) % 50;  // many time collisions
+      EventId id = q.schedule(t, [&order, l] { order.push_back(l); });
+      if (j % 2 == 1) cancelled.push_back(id);
+    }
+    if (round % 3 == 0 && !cancelled.empty()) {
+      q.cancel(cancelled.back());
+      cancelled.pop_back();
+    }
+  }
+  for (EventId id : cancelled) q.cancel(id);
+  Time prev_time = -1;
+  std::vector<int> seen;
+  while (!q.empty()) {
+    const Time t = q.next_time();
+    EXPECT_GE(t, prev_time);
+    prev_time = t;
+    q.pop().second();
+  }
+  // Survivors at equal times must have fired in ascending schedule order.
+  // Replay: group labels by time and check each group is sorted.
+  // (`order` holds the survivors in pop order.)
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Time ti = (order[i] * 37) % 50;
+    const Time tp = (order[i - 1] * 37) % 50;
+    if (ti == tp) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// OpenLoopClient construction contract.
+#include "workload/client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace canopus::workload {
+namespace {
+
+TEST(OpenLoopClient, RejectsEmptyServerList) {
+  // tick() round-robins over cfg.servers; an empty list used to reach a
+  // modulo-by-zero at the first generated batch. It must fail loudly at
+  // construction instead.
+  ClientConfig cfg;
+  auto rec = std::make_shared<LatencyRecorder>();
+  EXPECT_THROW(OpenLoopClient(cfg, rec, 1), std::invalid_argument);
+}
+
+TEST(OpenLoopClient, AcceptsNonEmptyServerList) {
+  ClientConfig cfg;
+  cfg.servers = {0, 1, 2};
+  auto rec = std::make_shared<LatencyRecorder>();
+  OpenLoopClient client(cfg, rec, 1);
+  EXPECT_EQ(client.sent(), 0u);
+}
+
+}  // namespace
+}  // namespace canopus::workload

@@ -1,0 +1,137 @@
+// find_max_throughput stop rules (plateau / latency cap / saturation) and
+// the equivalence of the serial and speculative-parallel searches.
+#include "workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workload/trial_pool.h"
+
+namespace canopus::workload {
+namespace {
+
+// A synthetic, deterministic "system": throughput tracks offered load up to
+// a capacity knee, then flattens; latency stays low until far past the knee.
+TrialFn capped_system(double capacity, double latency_blowup_at) {
+  return [=](double offered) {
+    Measurement m;
+    m.offered = offered;
+    m.throughput = offered <= capacity ? offered : capacity;
+    m.median = offered <= latency_blowup_at ? kMillisecond : 50 * kMillisecond;
+    m.p99 = 2 * m.median;
+    m.mean = static_cast<double>(m.median);
+    m.completed = static_cast<std::uint64_t>(m.throughput);
+    return m;
+  };
+}
+
+TEST(FindMaxThroughput, StopsAtPlateauNotLatencyCap) {
+  // Capacity 100k; latency never blows up below 1e12, so only the plateau
+  // (or saturation) rule can stop the ramp. The old code would have burned
+  // all 20 steps.
+  int trials = 0;
+  TrialFn base = capped_system(100'000, 1e12);
+  TrialFn counted = [&](double r) {
+    ++trials;
+    return base(r);
+  };
+  const auto res = find_max_throughput(counted, 10'000, 2.0,
+                                       10 * kMillisecond, 20, 3);
+  EXPECT_DOUBLE_EQ(res.max.throughput, 100'000);
+  // Ramp: 10k,20k,40k,80k,160k,... The first capped point (160k) is also
+  // saturated (100k < 0.7*160k), so the saturation rule fires first here.
+  EXPECT_LT(trials, 20);
+  EXPECT_EQ(res.sweep.size(), static_cast<std::size_t>(trials));
+}
+
+TEST(FindMaxThroughput, PlateauBreaksAfterKFlatHealthySteps) {
+  // growth 1.0 keeps the offered rate constant: the first trial sets the
+  // best (99% of offered), every later trial lands at 75% — healthy (median
+  // far under the cap), never saturated (75% > the 0.7 threshold), and
+  // never improving. Only the plateau rule can stop this ramp.
+  int trials = 0;
+  TrialFn flat2 = [&](double offered) {
+    ++trials;
+    Measurement m;
+    m.offered = offered;
+    m.throughput = trials == 1 ? 0.99 * offered : 0.75 * offered;
+    m.median = kMillisecond;
+    m.completed = static_cast<std::uint64_t>(m.throughput);
+    return m;
+  };
+  const auto res = find_max_throughput(flat2, 1'000, 1.0,
+                                       10 * kMillisecond, 50, 3);
+  // 1 improving step + 3 flat steps = 4 trials, not 50.
+  EXPECT_EQ(trials, 4);
+  EXPECT_EQ(res.sweep.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.max.throughput, 990);
+}
+
+TEST(FindMaxThroughput, LatencyCapStillBreaks) {
+  const auto res = find_max_throughput(capped_system(1e12, 50'000), 10'000,
+                                       2.0, 10 * kMillisecond, 20, 3);
+  // Ramp 10k,20k,40k,80k: 80k > 50k blows latency; unhealthy point ends the
+  // search and is excluded from max but included in the sweep.
+  EXPECT_EQ(res.sweep.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.max.throughput, 40'000);
+  EXPECT_EQ(res.sweep.back().median, 50 * kMillisecond);
+}
+
+TEST(FindMaxThroughput, ZeroCompletionsIsUnhealthy) {
+  TrialFn dead = [](double offered) {
+    Measurement m;
+    m.offered = offered;
+    return m;  // nothing completed
+  };
+  const auto res = find_max_throughput(dead, 1'000, 2.0, 10 * kMillisecond,
+                                       20, 3);
+  EXPECT_EQ(res.sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.max.throughput, 0);
+}
+
+TEST(FindMaxThroughput, RespectsMaxSteps) {
+  // Always-improving healthy system: only max_steps can stop it.
+  TrialFn ideal = capped_system(1e15, 1e15);
+  const auto res = find_max_throughput(ideal, 1'000, 1.3, 10 * kMillisecond,
+                                       7, 3);
+  EXPECT_EQ(res.sweep.size(), 7u);
+}
+
+TEST(FindMaxThroughput, ParallelSearchMatchesSerialBitForBit) {
+  TrialFn sys = capped_system(123'456, 900'000);
+  const auto serial = find_max_throughput(sys, 10'000, 1.4,
+                                          10 * kMillisecond, 20, 3);
+  for (unsigned threads : {1u, 2u, 3u, 5u, 8u}) {
+    TrialPool pool(threads);
+    const auto par = find_max_throughput(pool, sys, 10'000, 1.4,
+                                         10 * kMillisecond, 20, 3);
+    ASSERT_EQ(par.sweep.size(), serial.sweep.size()) << threads;
+    for (std::size_t i = 0; i < serial.sweep.size(); ++i) {
+      EXPECT_EQ(par.sweep[i].offered, serial.sweep[i].offered);
+      EXPECT_EQ(par.sweep[i].throughput, serial.sweep[i].throughput);
+      EXPECT_EQ(par.sweep[i].median, serial.sweep[i].median);
+      EXPECT_EQ(par.sweep[i].completed, serial.sweep[i].completed);
+    }
+    EXPECT_EQ(par.max.throughput, serial.max.throughput);
+    EXPECT_EQ(par.max.offered, serial.max.offered);
+  }
+}
+
+TEST(SweepRates, ParallelMatchesSerial) {
+  TrialFn sys = capped_system(50'000, 80'000);
+  const std::vector<double> rates{1'000, 2'000, 40'000, 60'000, 90'000};
+  const auto serial = sweep_rates(sys, rates);
+  TrialPool pool(4);
+  const auto par = sweep_rates(pool, sys, rates);
+  ASSERT_EQ(par.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(par[i].offered, serial[i].offered);
+    EXPECT_EQ(par[i].throughput, serial[i].throughput);
+    EXPECT_EQ(par[i].median, serial[i].median);
+  }
+}
+
+}  // namespace
+}  // namespace canopus::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 
 namespace canopus::workload {
@@ -61,6 +63,25 @@ TEST(LatencyHistogram, NegativeClampsToZero) {
   LatencyHistogram h;
   h.record(-5);
   EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(LatencyHistogram, PercentileClampsOutOfRangeInputs) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(1.5), h.percentile(1.0));
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()),
+            h.percentile(0.0));
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::infinity()),
+            h.percentile(1.0));
+  EXPECT_EQ(h.percentile(-std::numeric_limits<double>::infinity()),
+            h.percentile(0.0));
+}
+
+TEST(LatencyHistogram, PercentileClampOnEmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(7.0), 0);
+  EXPECT_EQ(h.percentile(-7.0), 0);
 }
 
 TEST(LatencyRecorder, WindowFiltersArrivals) {
