@@ -1,0 +1,110 @@
+// Failure-scenario bench: throughput/availability before, during and after
+// each standard fault scenario, for every consensus system, under one
+// deterministic fault schedule per scenario.
+//
+// No paper figure corresponds to this bench — the paper's evaluation is
+// failure-free — but §6 (liveness) specifies how Canopus must behave under
+// node and super-leaf failures, and the baselines' availability under the
+// same faults is the context for that design choice. The safety columns
+// assert the Agreement property under faults: live nodes of a system must
+// report identical commit digests in every scenario.
+//
+// Emits BENCH_failures.json (canopus-bench-v1): one series per
+// (system, scenario) with points "before"/"during"/"after" and scalars
+//   digests_agree, stalled_during, progressed_after, committed_writes,
+//   comparable_nodes, availability_during (throughput/offered).
+// The trial matrix runs on the shared TrialPool; every trial builds an
+// isolated simulator from a derived seed, so results are bit-identical to
+// a serial run regardless of --threads.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/fault_scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace canopus;
+  using namespace canopus::workload;
+  bench::Harness h(argc, argv, "failures",
+                   "Failure scenarios: availability + safety per system",
+                   "Sec 6 (liveness under failures); no paper figure");
+  const bool quick = h.quick();
+
+  const int groups = 3, per_group = 3;
+  FaultTiming ft;
+  if (!quick) {  // longer phases tighten the availability estimates
+    ft.fault_at = 1'300 * kMillisecond;
+    ft.heal_at = 2'600 * kMillisecond;
+    ft.end_at = 3'900 * kMillisecond;
+    ft.drain = 800 * kMillisecond;
+  }
+
+  TrialConfig base;
+  base.groups = groups;
+  base.per_group = per_group;
+  base.client_machines = 2;
+  base.warmup = ft.warmup;
+  base = fault_tuned(base);
+  const double rate = 20'000;
+
+  const std::vector<FaultScenario> scenarios =
+      standard_scenarios(groups, per_group, ft);
+
+  // Flatten the (system x scenario) matrix for the pool; results land by
+  // index, which keeps the output identical for any thread count.
+  struct Job {
+    System system;
+    const FaultScenario* scenario;
+  };
+  std::vector<Job> jobs;
+  for (System sys : kAllSystems)
+    for (const FaultScenario& sc : scenarios) jobs.push_back({sys, &sc});
+
+  std::vector<ScenarioResult> results(jobs.size());
+  h.pool().run_indexed(jobs.size(), [&](std::size_t i) {
+    TrialConfig tc = base;
+    tc.system = jobs[i].system;
+    results[i] = run_fault_scenario(tc, *jobs[i].scenario, ft, rate);
+  });
+
+  int violations = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    if (i % scenarios.size() == 0)
+      std::printf("\n--- %s ---\n", system_name(jobs[i].system));
+    std::printf("  %-24s  avail %5.1f%% / %5.1f%% / %5.1f%%   %s%s\n",
+                r.scenario.c_str(), 100 * r.before.throughput / rate,
+                100 * r.during.throughput / rate,
+                100 * r.after.throughput / rate,
+                r.digests_agree ? "agree" : "DIVERGED",
+                r.stalled_during() ? " (stalled)" : "");
+    if (!r.safe()) ++violations;
+    // Canopus must stall (not diverge) when a super-leaf loses its
+    // majority — §6's documented trade. (Other systems may also pause:
+    // the crashed majority includes server 0, the Zab/Raft leader.)
+    if (jobs[i].scenario->majority_loss &&
+        jobs[i].system == System::kCanopus && !r.stalled_during())
+      ++violations;
+
+    auto& sr = h.add_series(std::string(system_name(jobs[i].system)) + " / " +
+                            r.scenario);
+    sr.attr("system", system_name(jobs[i].system))
+        .attr("scenario", r.scenario)
+        .scalar("digests_agree", r.digests_agree ? 1 : 0)
+        .scalar("stalled_during", r.stalled_during() ? 1 : 0)
+        .scalar("progressed_after", r.progressed_after() ? 1 : 0)
+        .scalar("committed_writes",
+                static_cast<double>(r.committed_writes))
+        .scalar("comparable_nodes",
+                static_cast<double>(r.comparable_nodes))
+        .scalar("availability_during", r.during.throughput / rate)
+        .point("before", r.before)
+        .point("during", r.during)
+        .point("after", r.after);
+  }
+
+  h.add_scalar("safety_violations", violations);
+  std::printf("\nsafety violations: %d\n", violations);
+  const int json_rc = h.finish();
+  return json_rc != 0 ? json_rc : (violations > 0 ? 2 : 0);
+}

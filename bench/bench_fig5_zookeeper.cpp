@@ -5,6 +5,10 @@
 // ZooKeeper runs Zab with a leader + 5 followers; all remaining nodes are
 // observers (§8.1.2). ZKCanopus is the identical KV service with the
 // broadcast layer swapped for Canopus, where every node participates.
+// Standalone Raft (not in the paper) rides along as a third curve: the
+// same single-leader topology as ZooKeeper minus the znode pipeline cost,
+// isolating how much of ZooKeeper's collapse is the coordinator pattern
+// itself versus its per-write processing.
 //
 // Expected shape (paper): ZooKeeper's curve collapses at a small fraction
 // of ZKCanopus' throughput (the centralized coordinator saturates); at 27
@@ -26,11 +30,27 @@ int main(int argc, char** argv) {
       "Fig 5, Sec 8.1.2");
   const bool quick = h.quick();
 
+  struct Entry {
+    System system;
+    const char* label;
+    double start_rate;
+    double max_rate;
+  };
+  // Raft rides along as the third coordination-service baseline: a single
+  // cluster-wide leader like ZooKeeper, but without the znode pipeline
+  // cost — it sits between the two curves.
+  const std::vector<Entry> entries{
+      {System::kZab, "ZooKeeper (leader + 5 followers + observers)", 20'000,
+       800'000},
+      {System::kRaft, "Raft (single cluster-wide group)", 20'000, 1'600'000},
+      {System::kCanopus, "ZKCanopus (all nodes in consensus)", 100'000,
+       4'000'000},
+  };
   for (int pr : {3, 9}) {
     std::printf("\n--- %d nodes ---\n", 3 * pr);
-    for (bool zk : {true, false}) {
+    for (const Entry& e : entries) {
       TrialConfig tc;
-      tc.system = zk ? System::kZab : System::kCanopus;
+      tc.system = e.system;
       tc.groups = 3;
       tc.per_group = pr;
       tc.warmup = 400 * kMillisecond;
@@ -39,13 +59,11 @@ int main(int argc, char** argv) {
       tc.zab.followers = 5;
 
       std::vector<double> rates;
-      for (double r = zk ? 20'000 : 100'000;
-           r <= (zk ? 800'000 : 4'000'000); r *= quick ? 2.4 : 1.7)
+      for (double r = e.start_rate; r <= e.max_rate; r *= quick ? 2.4 : 1.7)
         rates.push_back(r);
       const auto sweep = sweep_rates(h.pool(), make_trial(tc), rates);
 
-      std::printf("  %s\n", zk ? "ZooKeeper (leader + 5 followers + observers)"
-                               : "ZKCanopus (all nodes in consensus)");
+      std::printf("  %s\n", e.label);
       double best = 0;
       for (const auto& m : sweep) {
         std::printf("    offered %8.3f M  ->  %8.3f Mreq/s   median %8.3f ms\n",
@@ -60,8 +78,11 @@ int main(int argc, char** argv) {
       }
       std::printf("    max healthy throughput: %.3f Mreq/s\n",
                   bench::mreq(best));
-      auto& sr = h.add_series(std::string(zk ? "ZooKeeper" : "ZKCanopus") +
-                              " @ " + std::to_string(3 * pr) + " nodes");
+      const char* series_base = e.system == System::kCanopus
+                                    ? "ZKCanopus"
+                                    : system_name(e.system);
+      auto& sr = h.add_series(std::string(series_base) + " @ " +
+                              std::to_string(3 * pr) + " nodes");
       sr.attr("system", system_name(tc.system))
           .scalar("nodes", 3 * pr)
           .scalar("max_healthy_req_s", best);

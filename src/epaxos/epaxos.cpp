@@ -17,27 +17,65 @@ std::size_t EPaxosNode::fast_quorum() const {
   return f + (f + 1) / 2;
 }
 
+void EPaxosNode::crash() {
+  crashed_ = true;
+  // The un-proposed batch and unsent replies are volatile; committed
+  // instances model state recovered from the durable log.
+  pending_.clear();
+  reply_buffer_.clear();
+}
+
+void EPaxosNode::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  resync();
+}
+
+void EPaxosNode::resync() {
+  if (crashed_) return;
+  for (NodeId peer : replicas_) {
+    if (peer != node_id()) send(peer, SeqProbe::kWire, SeqProbe{});
+  }
+  // Own instances that were in flight at crash time (PreAccepts delivered,
+  // the acks lost while down) only commit if their retransmit loop runs —
+  // the SeqProbe replies alone never re-arm it when no OTHER leader's
+  // commits were missed.
+  if (!own_uncommitted_.empty()) arm_repair_timer();
+}
+
 void EPaxosNode::submit(kv::Request r) {
+  if (crashed_) return;
   r.origin = node_id();
   pending_.push_back(r);
   if (!batch_timer_armed_) {
     batch_timer_armed_ = true;
     after(cfg_.batch_interval, [this] {
       batch_timer_armed_ = false;
-      flush_batch();
+      if (!crashed_) flush_batch();
     });
   }
 }
 
 void EPaxosNode::on_message(const simnet::Message& m) {
+  if (crashed_) return;
   if (const auto* batch = m.as<kv::ClientBatch>()) {
     for (const kv::Request& r : batch->reqs) submit(r);
   } else if (const auto* pa = m.as<PreAccept>()) {
     handle_pre_accept(m.src(), *pa);
   } else if (const auto* ok = m.as<PreAcceptOk>()) {
-    handle_pre_accept_ok(*ok);
+    handle_pre_accept_ok(m.src(), *ok);
   } else if (const auto* c = m.as<Commit>()) {
     handle_commit(*c);
+  } else if (const auto* f = m.as<Fetch>()) {
+    handle_fetch(m.src(), *f);
+  } else if (const auto* cf = m.as<CommitFull>()) {
+    handle_commit_full(*cf);
+  } else if (m.as<SeqProbe>() != nullptr) {
+    send(m.src(), SeqInfo::kWire, SeqInfo{own_committed_});
+  } else if (const auto* si = m.as<SeqInfo>()) {
+    auto& seen = max_committed_seen_[m.src()];
+    seen = std::max(seen, si->committed_seq);
+    if (contig_[m.src()] < seen) arm_repair_timer();
   }
 }
 
@@ -51,8 +89,7 @@ void EPaxosNode::flush_batch() {
   inst.batch = std::make_shared<const std::vector<kv::Request>>(
       std::move(pending_));
   pending_.clear();
-  inst.own = true;
-  inst.oks = 1;  // self
+  inst.own = true;  // the leader's own vote is implicit
 
   // Interference model: with probability cfg_.interference the instance
   // conflicts with all currently active interfering instances and must
@@ -69,14 +106,20 @@ void EPaxosNode::flush_batch() {
   }
   if (replicas_.size() == 1) {
     inst.committed = true;
+    register_commit(id);
     try_execute(id);
+    return;
   }
+  own_uncommitted_.emplace_back(id, sim().now());
+  arm_repair_timer();  // retransmits the PreAccept if a partition eats it
 }
 
 void EPaxosNode::handle_pre_accept(NodeId src, const PreAccept& pa) {
   Instance& inst = instances_[pa.id];
-  inst.batch = pa.batch;
-  inst.deps = pa.deps;
+  if (!inst.committed) {  // a commit's attributes are authoritative
+    inst.batch = pa.batch;
+    inst.deps = pa.deps;
+  }
   net().busy(node_id(),
              static_cast<Time>(pa.batch ? pa.batch->size() : 0) *
                  cfg_.cpu_per_command);
@@ -87,13 +130,14 @@ void EPaxosNode::handle_pre_accept(NodeId src, const PreAccept& pa) {
   send(src, ok.wire_bytes(), ok);
 }
 
-void EPaxosNode::handle_pre_accept_ok(const PreAcceptOk& ok) {
+void EPaxosNode::handle_pre_accept_ok(NodeId src, const PreAcceptOk& ok) {
   auto it = instances_.find(ok.id);
   if (it == instances_.end() || it->second.committed) return;
   Instance& inst = it->second;
-  ++inst.oks;
-  if (static_cast<std::size_t>(inst.oks) >= fast_quorum()) {
+  if (!inst.ok_from.insert(src).second) return;  // retransmit duplicate
+  if (inst.ok_from.size() + 1 >= fast_quorum()) {
     inst.committed = true;
+    register_commit(ok.id);
     Commit c{ok.id, inst.deps};
     for (NodeId peer : replicas_) {
       if (peer != node_id()) send(peer, c.wire_bytes(), c);
@@ -106,7 +150,111 @@ void EPaxosNode::handle_commit(const Commit& c) {
   Instance& inst = instances_[c.id];
   inst.deps = c.deps;
   inst.committed = true;
+  register_commit(c.id);
+  // Committed but batch-less: the PreAccept was lost (crash/partition
+  // window) and only the commit got through. The contiguous frontier
+  // will not advance past it, so the repair plane fetches the batch back.
+  if (!inst.batch) arm_repair_timer();
   try_execute(c.id);
+  retry_blocked();
+}
+
+void EPaxosNode::handle_commit_full(const CommitFull& cf) {
+  Instance& inst = instances_[cf.id];
+  if (inst.committed && (inst.executed || inst.batch)) return;
+  if (!inst.batch) inst.batch = cf.batch;
+  inst.deps = cf.deps;
+  inst.committed = true;
+  register_commit(cf.id);
+  try_execute(cf.id);
+  retry_blocked();
+}
+
+void EPaxosNode::handle_fetch(NodeId src, const Fetch& f) {
+  // Serve the gap from whatever committed instances (with batches still
+  // resident) this replica holds; the requester rotates targets if we
+  // cannot cover the range.
+  for (std::uint64_t s = f.from; s <= f.to; ++s) {
+    auto it = instances_.find(InstanceId{f.replica, s});
+    if (it == instances_.end() || !it->second.committed || !it->second.batch)
+      continue;
+    CommitFull cf{it->first, it->second.batch, it->second.deps};
+    send(src, cf.wire_bytes(), cf);
+  }
+}
+
+void EPaxosNode::register_commit(const InstanceId& id) {
+  if (id.replica == node_id()) {
+    own_committed_ = std::max(own_committed_, id.seq);
+    while (!own_uncommitted_.empty()) {
+      auto it = instances_.find(own_uncommitted_.front().first);
+      if (it != instances_.end() && !it->second.committed) break;
+      own_uncommitted_.pop_front();
+    }
+  }
+  auto& seen = max_committed_seen_[id.replica];
+  seen = std::max(seen, id.seq);
+  // Advance the contiguously-committed frontier for this command leader.
+  // An instance counts only once it is executable (or executed): a commit
+  // whose batch never arrived must keep the frontier behind it so the
+  // repair fetch covers it.
+  auto& contig = contig_[id.replica];
+  while (true) {
+    auto it = instances_.find(InstanceId{id.replica, contig + 1});
+    if (it == instances_.end() || !it->second.committed ||
+        (!it->second.executed && !it->second.batch))
+      break;
+    ++contig;
+  }
+  // A hole below a known commit is a missed instance: repair it.
+  if (contig < seen && id.replica != node_id()) arm_repair_timer();
+}
+
+void EPaxosNode::arm_repair_timer() {
+  if (repair_timer_armed_ || crashed_) return;
+  repair_timer_armed_ = true;
+  after(cfg_.repair_retry, [this] {
+    repair_timer_armed_ = false;
+    if (crashed_) return;
+    bool work_left = false;
+    // Missed instances of other leaders: fetch the gap. Ask the command
+    // leader first; rotate to the other replicas on subsequent attempts in
+    // case it is dead or has already evicted the batch.
+    for (const auto& [replica, seen] : max_committed_seen_) {
+      if (replica == node_id()) continue;
+      const std::uint64_t contig = contig_[replica];
+      if (contig >= seen) continue;
+      work_left = true;
+      std::vector<NodeId> targets{replica};
+      for (NodeId peer : replicas_) {
+        if (peer != node_id() && peer != replica) targets.push_back(peer);
+      }
+      const NodeId target =
+          targets[static_cast<std::size_t>(fetch_attempts_) % targets.size()];
+      Fetch f{replica, contig + 1, seen};
+      send(target, Fetch::kWire, f);
+    }
+    ++fetch_attempts_;
+    // Own instances stuck pre-quorum for a full interval had their
+    // PreAccepts (or the acks) eaten by a fault: retransmit to the
+    // acceptors that have not answered.
+    const Time stale = sim().now() - cfg_.repair_retry;
+    for (const auto& [id, proposed_at] : own_uncommitted_) {
+      auto it = instances_.find(id);
+      if (it == instances_.end() || it->second.committed) continue;
+      work_left = true;
+      if (proposed_at > stale) continue;
+      PreAccept pa{id, it->second.batch, it->second.deps};
+      for (NodeId peer : replicas_) {
+        if (peer != node_id() && !it->second.ok_from.contains(peer))
+          send(peer, pa.wire_bytes(), pa);
+      }
+    }
+    if (work_left) arm_repair_timer();
+  });
+}
+
+void EPaxosNode::retry_blocked() {
   // A commit may unblock parked instances; retry until a fixed point.
   bool progress = true;
   while (progress && !blocked_.empty()) {
@@ -128,6 +276,13 @@ bool EPaxosNode::try_execute(const InstanceId& id) {
   if (it == instances_.end()) return true;  // pruned == long executed
   if (!it->second.committed) return false;
   if (it->second.executed) return true;
+  if (!it->second.batch) {
+    // Committed without its batch (lost PreAccept): park until the repair
+    // plane fetches the batch back via CommitFull.
+    if (std::find(blocked_.begin(), blocked_.end(), id) == blocked_.end())
+      blocked_.push_back(id);
+    return false;
+  }
   for (const InstanceId& dep : it->second.deps) {
     auto dit = instances_.find(dep);
     if (dit != instances_.end() && !dit->second.committed) {
@@ -156,9 +311,11 @@ void EPaxosNode::execute(const InstanceId& id) {
     if (r.is_write) {
       store_.apply(r);
       digest_.append(r);
+      set_digest_.append(r);
     }
     ++executed_;
     if (inst.own && r.origin == node_id() && r.id.client != kInvalidNode) {
+      if (!r.is_write) ++served_reads_;
       kv::Completion done{r.id, r.is_write,
                           r.is_write ? 0 : store_.read(r.key), r.arrival};
       reply_buffer_[r.id.client].done.push_back(done);
@@ -168,7 +325,14 @@ void EPaxosNode::execute(const InstanceId& id) {
       std::remove(active_interfering_.begin(), active_interfering_.end(), id),
       active_interfering_.end());
   if (on_execute) on_execute(*inst.batch);
-  inst.batch.reset();  // executed batches are dead weight
+  // Executed batches stay resident in a bounded ring for peer repair, then
+  // become dead weight and are dropped.
+  repair_ring_.push_back(id);
+  while (repair_ring_.size() > cfg_.repair_window) {
+    auto evict = instances_.find(repair_ring_.front());
+    if (evict != instances_.end()) evict->second.batch.reset();
+    repair_ring_.pop_front();
+  }
 
   for (auto& [client, batch] : reply_buffer_) {
     if (!batch.done.empty()) {

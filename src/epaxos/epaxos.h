@@ -22,10 +22,13 @@
 // instances gather dependencies and execute in dependency order.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "kv/store.h"
@@ -43,6 +46,18 @@ struct Config {
   /// on PreAccept, instance bookkeeping) — the per-command work EPaxos pays
   /// on reads AND writes at all nodes, unlike Canopus.
   Time cpu_per_command = 1'500;
+
+  // --- fault-plane tuning -------------------------------------------------
+  /// Executed instances whose batches stay resident for peer repair. A
+  /// replica that misses commits (crash, partition) fetches them back from
+  /// any peer still holding the batch; beyond this window the instance is
+  /// unrecoverable from that peer and the fetch rotates to another.
+  std::size_t repair_window = 64;
+  /// Retry interval for gap-repair fetches. Must exceed the widest RTT in
+  /// the deployment (Table 1 tops out at 322 ms) or healthy in-flight
+  /// commits are mistaken for gaps; single-DC failure scenarios lower it
+  /// for fast post-heal repair.
+  Time repair_retry = 350 * kMillisecond;
 };
 
 /// Instance id: (replica, per-replica sequence number).
@@ -76,6 +91,37 @@ struct Commit {
   std::size_t wire_bytes() const { return 64 + 16 * deps.size(); }
 };
 
+/// Repair request: resend committed instances of `replica` with sequence
+/// numbers in [from, to].
+struct Fetch {
+  NodeId replica = kInvalidNode;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  static constexpr std::size_t kWire = 40;
+};
+
+/// Repair reply: a commit that carries its batch (for replicas that never
+/// received the PreAccept).
+struct CommitFull {
+  InstanceId id;
+  std::shared_ptr<const std::vector<kv::Request>> batch;
+  std::vector<InstanceId> deps;
+  std::size_t wire_bytes() const {
+    return 64 + kv::kRequestWire * (batch ? batch->size() : 0) +
+           16 * deps.size();
+  }
+};
+
+/// Recovery probe: "what is the latest instance you committed as leader?"
+struct SeqProbe {
+  static constexpr std::size_t kWire = 24;
+};
+
+struct SeqInfo {
+  std::uint64_t committed_seq = 0;  ///< sender's own latest committed seq
+  static constexpr std::size_t kWire = 24;
+};
+
 class EPaxosNode : public simnet::Process {
  public:
   EPaxosNode(std::vector<NodeId> replicas, Config cfg);
@@ -86,9 +132,34 @@ class EPaxosNode : public simnet::Process {
   /// Local submission path for tests.
   void submit(kv::Request r);
 
+  /// Crash-stop: drop all traffic and timers until recover(). Committed
+  /// instances survive (durable log); the pending batch is volatile.
+  void crash();
+  /// Restart after a crash and probe peers for missed instances.
+  void recover();
+  bool crashed() const { return crashed_; }
+  /// Probes every peer for instances this replica missed.
+  void resync();
+
   std::uint64_t executed_requests() const { return executed_; }
+  /// Reads this node answered to its own clients.
+  std::uint64_t served_reads() const { return served_reads_; }
   const kv::Store& store() const { return store_; }
   const kv::CommitDigest& digest() const { return digest_; }
+  /// Order-insensitive digest of executed writes — the agreement check that
+  /// is meaningful for EPaxos (see kv::SetDigest).
+  const kv::SetDigest& set_digest() const { return set_digest_; }
+
+  /// Repair diagnostics: (contiguously committed seq, highest seq known
+  /// committed) for `replica`'s instances at this node. A first component
+  /// below the second is an open gap the repair plane is working on.
+  std::pair<std::uint64_t, std::uint64_t> repair_frontier(
+      NodeId replica) const {
+    const auto c = contig_.find(replica);
+    const auto m = max_committed_seen_.find(replica);
+    return {c == contig_.end() ? 0 : c->second,
+            m == max_committed_seen_.end() ? 0 : m->second};
+  }
 
   /// Fired when a batch executes locally, with the instance's requests.
   std::function<void(const std::vector<kv::Request>&)> on_execute;
@@ -97,7 +168,9 @@ class EPaxosNode : public simnet::Process {
   struct Instance {
     std::shared_ptr<const std::vector<kv::Request>> batch;
     std::vector<InstanceId> deps;
-    int oks = 0;
+    /// Acceptors whose PreAcceptOk arrived (dedup: PreAccepts are
+    /// retransmitted after a partition, so acks can repeat).
+    std::unordered_set<NodeId> ok_from;
     bool committed = false;
     bool executed = false;
     bool own = false;  ///< this node is the command leader
@@ -105,8 +178,13 @@ class EPaxosNode : public simnet::Process {
 
   void flush_batch();
   void handle_pre_accept(NodeId src, const PreAccept& pa);
-  void handle_pre_accept_ok(const PreAcceptOk& ok);
+  void handle_pre_accept_ok(NodeId src, const PreAcceptOk& ok);
   void handle_commit(const Commit& c);
+  void handle_fetch(NodeId src, const Fetch& f);
+  void handle_commit_full(const CommitFull& cf);
+  void register_commit(const InstanceId& id);
+  void retry_blocked();
+  void arm_repair_timer();
   /// Returns true when the instance is (now or already) executed.
   bool try_execute(const InstanceId& id);
   void execute(const InstanceId& id);
@@ -121,9 +199,32 @@ class EPaxosNode : public simnet::Process {
   std::vector<InstanceId> active_interfering_;
   /// Committed instances parked on uncommitted dependencies.
   std::vector<InstanceId> blocked_;
+
+  // --- repair state -------------------------------------------------------
+  /// Per command leader: highest seq with every instance <= it committed
+  /// locally, and the highest seq known committed anywhere. contig < max
+  /// means this replica has a gap to repair.
+  std::unordered_map<NodeId, std::uint64_t> contig_;
+  std::unordered_map<NodeId, std::uint64_t> max_committed_seen_;
+  /// Rotates the repair-fetch target so a dead command leader does not
+  /// block repair forever.
+  std::uint64_t fetch_attempts_ = 0;
+  /// Own instances not yet committed, oldest first, with their proposal
+  /// times — the repair timer retransmits PreAccepts lost to a partition.
+  std::deque<std::pair<InstanceId, Time>> own_uncommitted_;
+  /// Executed instances still holding their batch for peer repair (FIFO,
+  /// bounded by cfg_.repair_window).
+  std::deque<InstanceId> repair_ring_;
+  bool repair_timer_armed_ = false;
+  bool crashed_ = false;
+  /// This replica's own latest committed seq (answer to SeqProbe).
+  std::uint64_t own_committed_ = 0;
+
   kv::Store store_;
   kv::CommitDigest digest_;
+  kv::SetDigest set_digest_;
   std::uint64_t executed_ = 0;
+  std::uint64_t served_reads_ = 0;
   std::unordered_map<NodeId, kv::ReplyBatch> reply_buffer_;
   bool batch_timer_armed_ = false;
 };
@@ -133,3 +234,7 @@ class EPaxosNode : public simnet::Process {
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::PreAccept, kEpaxosPreAccept);
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::PreAcceptOk, kEpaxosPreAcceptOk);
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::Commit, kEpaxosCommit);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::Fetch, kEpaxosFetch);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::CommitFull, kEpaxosCommitFull);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SeqProbe, kEpaxosSeqProbe);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SeqInfo, kEpaxosSeqInfo);

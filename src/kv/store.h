@@ -54,4 +54,32 @@ class CommitDigest {
   std::uint64_t count_ = 0;
 };
 
+/// Order-insensitive digest of a committed write *set*. EPaxos executes
+/// non-interfering commands in whatever order their commits arrive locally,
+/// so two replicas agree on the set of committed writes but not on a total
+/// order — this is the agreement property its fault scenarios can check.
+/// (Ordered systems — Canopus, Raft, Zab — use CommitDigest instead, which
+/// also pins the order.)
+class SetDigest {
+ public:
+  void append(const Request& w) {
+    // Commutative accumulation (sum mod 2^64) of a per-record mix.
+    std::uint64_t x = (std::uint64_t{w.id.client} << 32) ^ w.id.seq;
+    x = (x ^ w.key * 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL;
+    x ^= (w.value + 0x94d049bb133111ebULL) * 0x2545f4914f6cdd1dULL;
+    x ^= x >> 33;
+    sum_ += x;
+    ++count_;
+  }
+
+  std::uint64_t value() const { return sum_; }
+  std::uint64_t count() const { return count_; }
+
+  friend bool operator==(const SetDigest&, const SetDigest&) = default;
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
 }  // namespace canopus::kv

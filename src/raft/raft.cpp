@@ -186,9 +186,16 @@ void RaftNode::notify_commit(NodeId peer) {
   m.group = group_;
   m.type = MsgType::kAppendEntries;
   m.term = term_;
-  // Anchor at the peer's known-replicated index so the consistency check
-  // always passes; no payload travels.
-  m.prev_log_index = match_index_[pos];
+  // Anchor at the committed prefix the peer plausibly holds (entries
+  // already put on the wire this term, or acked): a follower only advances
+  // its commit up to the prefix an AppendEntries VERIFIED, so anchoring at
+  // match_index alone would delay commit notification of just-sent entries
+  // by a full ack round-trip. If the peer's log disagrees at the anchor
+  // (it missed the entries), the consistency check fails and the ordinary
+  // nack/repair path takes over; if it agrees, the Log Matching property
+  // makes committing up to the anchor safe. No payload travels.
+  m.prev_log_index = std::min(
+      commit_, std::max(match_index_[pos], sent_up_to_[pos]));
   m.prev_log_term = log_.term_at(m.prev_log_index);
   m.leader_commit = commit_;
   cb_.send(peer, m);
@@ -295,8 +302,16 @@ void RaftNode::handle_append_entries(NodeId src, const WireMsg& m) {
     log_.append(e);
   }
 
+  // Commit advance is bounded by the prefix this message VERIFIED
+  // (prev_log_index + new entries), not by our last_index(): anything
+  // beyond it can be a stale uncommitted tail from a deposed leader that
+  // this check never compared against the current leader's log. Applying
+  // it would diverge the state machine (Raft §5.3: commitIndex =
+  // min(leaderCommit, index of last new entry)). The one-way-partition
+  // fault scenario catches exactly this.
+  const LogIndex verified = m.prev_log_index + m.entries.size();
   if (m.leader_commit > commit_) {
-    commit_ = std::min(m.leader_commit, log_.last_index());
+    commit_ = std::max(commit_, std::min(m.leader_commit, verified));
     apply_committed();
   }
 

@@ -1,0 +1,152 @@
+#include "raft/raft_kv.h"
+
+#include <cassert>
+
+namespace canopus::raft {
+
+RaftKvNode::RaftKvNode(std::vector<NodeId> members, KvConfig cfg)
+    : members_(std::move(members)), cfg_(cfg) {
+  assert(!members_.empty());
+}
+
+void RaftKvNode::on_start() {
+  RaftNode::Callbacks cb;
+  cb.send = [this](NodeId dst, const WireMsg& m) {
+    send(dst, m.wire_bytes(), m);
+  };
+  cb.on_commit = [this](LogIndex idx, const LogEntry& e) {
+    if (const auto* b = e.payload.as<KvBatch>(); b != nullptr && b->reqs)
+      apply(idx, *b->reqs);
+  };
+  raft_ = std::make_unique<RaftNode>(/*group=*/0, node_id(), members_, sim(),
+                                     std::move(cb), cfg_.raft);
+  raft_->start(/*bootstrap_as_leader=*/node_id() == members_[0]);
+}
+
+void RaftKvNode::crash() {
+  crashed_ = true;
+  if (raft_) raft_->stop();
+  pending_.clear();        // volatile: unproposed batches die with the node
+  reply_buffer_.clear();
+}
+
+void RaftKvNode::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // Durable state (log, term, vote) survives; the node rejoins as a
+  // follower and the leader's AppendEntries backoff repairs its log.
+  if (raft_) raft_->start(/*bootstrap_as_leader=*/false);
+}
+
+void RaftKvNode::submit(kv::Request r) {
+  if (crashed_) return;
+  r.origin = node_id();
+  enqueue(std::move(r));
+}
+
+void RaftKvNode::on_message(const simnet::Message& m) {
+  if (crashed_) return;
+  if (const auto* w = m.as<WireMsg>()) {
+    if (raft_) raft_->on_message(m.src(), *w);
+  } else if (const auto* batch = m.as<kv::ClientBatch>()) {
+    for (const kv::Request& req : batch->reqs) {
+      kv::Request r = req;
+      r.origin = node_id();
+      enqueue(std::move(r));
+    }
+    flush_replies();  // reads answered inline
+  } else if (const auto* fwd = m.as<KvForward>()) {
+    // Forwarded writes keep their original origin: the *origin* node
+    // replies to the client at apply time.
+    if (raft_ && raft_->is_leader()) {
+      pending_.insert(pending_.end(), fwd->reqs.begin(), fwd->reqs.end());
+      arm_flush_timer();
+    } else if (raft_ && raft_->leader_hint() != kInvalidNode &&
+               raft_->leader_hint() != node_id()) {
+      // Stale forward (leadership moved): pass it along.
+      send(raft_->leader_hint(), fwd->wire_bytes(), *fwd);
+    } else {
+      // No known leader: adopt the requests locally and retry via the
+      // ordinary flush path once a leader emerges.
+      pending_.insert(pending_.end(), fwd->reqs.begin(), fwd->reqs.end());
+      arm_flush_timer();
+    }
+  }
+}
+
+void RaftKvNode::enqueue(kv::Request r) {
+  if (!r.is_write) {
+    serve_read(r);
+    return;
+  }
+  pending_.push_back(std::move(r));
+  arm_flush_timer();
+}
+
+void RaftKvNode::serve_read(const kv::Request& r) {
+  ++served_reads_;
+  net().busy(node_id(), cfg_.cpu_per_read);
+  kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+  reply_buffer_[r.id.client].done.push_back(done);
+}
+
+void RaftKvNode::arm_flush_timer() {
+  if (flush_timer_armed_) return;
+  flush_timer_armed_ = true;
+  after(cfg_.batch_interval, [this] {
+    flush_timer_armed_ = false;
+    if (!crashed_) flush_batch();
+  });
+}
+
+void RaftKvNode::flush_batch() {
+  if (pending_.empty() || raft_ == nullptr) return;
+  if (raft_->is_leader()) {
+    net().busy(node_id(), static_cast<Time>(pending_.size()) *
+                              cfg_.leader_cpu_per_write);
+    KvBatch b;
+    b.reqs = std::make_shared<const std::vector<kv::Request>>(
+        std::move(pending_));
+    pending_.clear();
+    const std::size_t bytes = b.wire_bytes();
+    raft_->propose(simnet::Payload(std::move(b)), bytes);
+    return;
+  }
+  const NodeId leader = raft_->leader_hint();
+  if (leader == kInvalidNode || leader == node_id()) {
+    // Mid-election: hold the batch and retry after another interval.
+    arm_flush_timer();
+    return;
+  }
+  KvForward f{std::move(pending_)};
+  pending_.clear();
+  send(leader, f.wire_bytes(), f);
+}
+
+void RaftKvNode::apply(LogIndex idx, const std::vector<kv::Request>& batch) {
+  net().busy(node_id(),
+             static_cast<Time>(batch.size()) * cfg_.cpu_per_write);
+  for (const kv::Request& r : batch) {
+    store_.apply(r);
+    digest_.append(r);
+    if (r.origin == node_id() && r.id.client != kInvalidNode) {
+      kv::Completion done{r.id, true, 0, r.arrival};
+      reply_buffer_[r.id.client].done.push_back(done);
+    }
+  }
+  if (on_commit) on_commit(idx, batch);
+  flush_replies();
+}
+
+void RaftKvNode::flush_replies() {
+  for (auto& [client, batch] : reply_buffer_) {
+    if (client != kInvalidNode && !batch.done.empty()) {
+      // Size before move: argument evaluation order is unspecified.
+      const std::size_t bytes = batch.wire_bytes();
+      send(client, bytes, std::move(batch));
+    }
+  }
+  reply_buffer_.clear();
+}
+
+}  // namespace canopus::raft

@@ -1,0 +1,35 @@
+#include "simnet/fault_schedule.h"
+
+namespace canopus::simnet {
+
+const char* fault_kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRecover: return "recover";
+    case FaultEvent::Kind::kSever: return "sever";
+    case FaultEvent::Kind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+void FaultSchedule::apply(Network& net, const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kCrash: net.crash(ev.a); break;
+    case FaultEvent::Kind::kRecover: net.recover(ev.a); break;
+    case FaultEvent::Kind::kSever: net.sever(ev.a, ev.b); break;
+    case FaultEvent::Kind::kHeal: net.heal(ev.a, ev.b); break;
+  }
+}
+
+void FaultSchedule::arm(Network& net, ApplyFn hook) const {
+  for (const FaultEvent& ev : events_) {
+    net.sim().at(ev.at, [&net, ev, hook] {
+      if (hook)
+        hook(net, ev);
+      else
+        apply(net, ev);
+    });
+  }
+}
+
+}  // namespace canopus::simnet

@@ -1,0 +1,81 @@
+// FaultSchedule: deterministic, simulation-time-scheduled fault injection.
+//
+// A schedule is an ordered list of crash / recover / sever / heal events,
+// each pinned to an absolute simulation time. Arming the schedule turns
+// every event into one simulator event; because the simulator is
+// deterministic, two runs with the same schedule produce bit-identical
+// fault timings — which is what lets the failure benches compare systems
+// under *identical* fault histories, and lets parallel trial execution stay
+// bit-identical to serial.
+//
+// The schedule only knows the Network primitives (crash/recover/sever/heal,
+// network.h). Protocols that need node-level crash handling on top (Canopus
+// silencing its broadcast groups, a Raft member stopping its timers) hook
+// the per-event `apply` callback the workload layer supplies — see
+// workload/fault_scenario.h.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simnet/network.h"
+
+namespace canopus::simnet {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover, kSever, kHeal };
+  Time at = 0;
+  Kind kind = Kind::kCrash;
+  NodeId a = kInvalidNode;  ///< the node (crash/recover) or the source (sever/heal)
+  NodeId b = kInvalidNode;  ///< the destination (sever/heal only)
+};
+
+const char* fault_kind_name(FaultEvent::Kind k);
+
+class FaultSchedule {
+ public:
+  FaultSchedule& crash_at(Time t, NodeId n) {
+    events_.push_back({t, FaultEvent::Kind::kCrash, n, kInvalidNode});
+    return *this;
+  }
+  FaultSchedule& recover_at(Time t, NodeId n) {
+    events_.push_back({t, FaultEvent::Kind::kRecover, n, kInvalidNode});
+    return *this;
+  }
+  /// Severs the directed pair a -> b (messages a -> b are dropped;
+  /// b -> a still flows — this is what makes partitions *asymmetric*).
+  FaultSchedule& sever_at(Time t, NodeId a, NodeId b) {
+    events_.push_back({t, FaultEvent::Kind::kSever, a, b});
+    return *this;
+  }
+  FaultSchedule& heal_at(Time t, NodeId a, NodeId b) {
+    events_.push_back({t, FaultEvent::Kind::kHeal, a, b});
+    return *this;
+  }
+  /// Symmetric partition helpers: sever/heal both directions.
+  FaultSchedule& partition_at(Time t, NodeId a, NodeId b) {
+    return sever_at(t, a, b).sever_at(t, b, a);
+  }
+  FaultSchedule& join_at(Time t, NodeId a, NodeId b) {
+    return heal_at(t, a, b).heal_at(t, b, a);
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Applies one event directly to the network (no scheduling).
+  static void apply(Network& net, const FaultEvent& ev);
+
+  /// Schedules every event on the network's simulator. When `hook` is
+  /// non-null it replaces the default Network application for that event —
+  /// the caller is then responsible for calling FaultSchedule::apply (or an
+  /// equivalent) itself. Events at equal times fire in insertion order
+  /// (the simulator queue is FIFO for ties).
+  using ApplyFn = std::function<void(Network&, const FaultEvent&)>;
+  void arm(Network& net, ApplyFn hook = {}) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace canopus::simnet

@@ -36,6 +36,10 @@ enum class PayloadTag : std::uint16_t {
 
   // raft/ — all four RPCs plus control frames share one struct.
   kRaftWire,
+  // raft/ standalone KV deployment (raft_kv.h): replicated batches and the
+  // member -> leader write forwarding frame.
+  kRaftKvBatch,
+  kRaftKvForward,
 
   // canopus/ — protocol wire messages (§4.2, §4.5, §3).
   kCanopusProposal,
@@ -53,11 +57,16 @@ enum class PayloadTag : std::uint16_t {
   kZabAck,
   kZabCommit,
   kZabInform,
+  kZabSyncReq,
 
   // epaxos/ — leaderless baseline.
   kEpaxosPreAccept,
   kEpaxosPreAcceptOk,
   kEpaxosCommit,
+  kEpaxosFetch,
+  kEpaxosCommitFull,
+  kEpaxosSeqProbe,
+  kEpaxosSeqInfo,
 
   // rbcast/ — hardware-assisted atomic broadcast frames.
   kSwitchFrame,

@@ -1,34 +1,40 @@
 // Ready-made deployments: a consensus system + topology + open-loop clients
 // + measurement, matching the paper's experimental setups (§8).
 //
-// One function per (system, topology family); each runs a fresh, seeded
-// simulation at a given offered load and returns the client-side
-// Measurement. Benches compose these with workload::find_max_throughput /
-// sweep_rates to regenerate the paper's figures.
+// The deployment pipeline is factored so every driver shares it:
+//   build_cluster(tc)            — topology + server/client placement
+//   make_service(tc, cluster, n) — the system behind workload::ConsensusService
+//   attach_clients(...)          — open-loop Poisson client machines
+// run_trial composes the three for the steady-state benches; the
+// fault-scenario runner (workload/fault_scenario.h) composes the same three
+// plus a simnet::FaultSchedule, which is what makes every scenario run
+// identically against all four systems.
 #pragma once
 
 #include <bit>
 #include <memory>
 #include <vector>
 
-#include "canopus/node.h"
-#include "epaxos/epaxos.h"
 #include "simnet/network.h"
 #include "simnet/topology.h"
 #include "workload/client.h"
 #include "workload/runner.h"
-#include "zab/zab.h"
+#include "workload/service.h"
 
 namespace canopus::workload {
 
 /// Which consensus system a deployment runs.
-enum class System { kCanopus, kEPaxos, kZab };
+enum class System { kCanopus, kEPaxos, kZab, kRaft };
+
+inline constexpr System kAllSystems[] = {System::kCanopus, System::kRaft,
+                                         System::kZab, System::kEPaxos};
 
 inline const char* system_name(System s) {
   switch (s) {
     case System::kCanopus: return "Canopus";
     case System::kEPaxos: return "EPaxos";
     case System::kZab: return "ZooKeeper";
+    case System::kRaft: return "Raft";
   }
   return "?";
 }
@@ -68,20 +74,11 @@ struct TrialConfig {
   core::Config canopus;
   epaxos::Config epaxos;
   zab::Config zab;
+  raft::KvConfig raft;
 };
 
-/// Runs one trial at `offered_rate` total requests/second (spread evenly
-/// over all client machines) and reports client-observed completions.
-inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
-  // Per-trial derived seed: every offered rate gets its own RNG stream, so
-  // a trial's result depends only on (config, rate) — never on which order
-  // or thread the harness ran it in — and sweep points are statistically
-  // independent rather than replaying one stream at different loads.
-  const std::uint64_t trial_seed =
-      derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate));
-  simnet::Simulator sim(trial_seed);
-
-  simnet::Cluster cluster;
+/// Builds the cluster (topology + server/client node ids) for a config.
+inline simnet::Cluster build_cluster(const TrialConfig& tc) {
   if (tc.wan) {
     simnet::WanConfig wc;
     wc.servers_per_dc.assign(static_cast<std::size_t>(tc.groups),
@@ -89,55 +86,58 @@ inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
     wc.clients_per_dc.assign(static_cast<std::size_t>(tc.groups),
                              tc.client_machines);
     wc.rtt_ms = simnet::table1_rtt_ms();
-    cluster = simnet::build_multi_dc(wc);
-  } else {
-    simnet::RackConfig rc;
-    rc.racks = tc.groups;
-    rc.servers_per_rack = tc.per_group;
-    rc.clients_per_rack = tc.client_machines;
-    cluster = simnet::build_multi_rack(rc);
+    return simnet::build_multi_dc(wc);
   }
-  simnet::Network net(sim, cluster.topo, tc.cpu);
+  simnet::RackConfig rc;
+  rc.racks = tc.groups;
+  rc.servers_per_rack = tc.per_group;
+  rc.clients_per_rack = tc.client_machines;
+  return simnet::build_multi_rack(rc);
+}
 
-  // --- consensus servers ------------------------------------------------
-  std::vector<std::unique_ptr<simnet::Process>> servers;
-  std::shared_ptr<const lot::Lot> lot;
+/// Canopus LOT: one super-leaf per rack/DC.
+inline lot::LotConfig make_lot_config(const TrialConfig& tc,
+                                      const simnet::Cluster& cluster) {
+  lot::LotConfig lc;
+  for (int g = 0; g < tc.groups; ++g) {
+    lc.super_leaves.emplace_back();
+    for (int s = 0; s < tc.per_group; ++s)
+      lc.super_leaves.back().push_back(
+          cluster.servers[static_cast<std::size_t>(g * tc.per_group + s)]);
+  }
+  return lc;
+}
+
+/// Deploys the configured system's servers onto the network. The service
+/// owns the protocol instances; it must outlive the simulation run.
+inline std::unique_ptr<ConsensusService> make_service(
+    const TrialConfig& tc, const simnet::Cluster& cluster,
+    simnet::Network& net) {
   switch (tc.system) {
-    case System::kCanopus: {
-      lot::LotConfig lc;
-      for (int g = 0; g < tc.groups; ++g) {
-        lc.super_leaves.emplace_back();
-        for (int s = 0; s < tc.per_group; ++s)
-          lc.super_leaves.back().push_back(
-              cluster.servers[static_cast<std::size_t>(g * tc.per_group + s)]);
-      }
-      lot = std::make_shared<const lot::Lot>(lot::Lot::build(lc));
-      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
-        servers.push_back(
-            std::make_unique<core::CanopusNode>(lot, tc.canopus));
-      break;
-    }
+    case System::kCanopus:
+      return std::make_unique<CanopusService>(
+          net, cluster.servers, make_lot_config(tc, cluster), tc.canopus);
     case System::kEPaxos:
-      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
-        servers.push_back(std::make_unique<epaxos::EPaxosNode>(
-            cluster.servers, tc.epaxos));
-      break;
+      return std::make_unique<EPaxosService>(net, cluster.servers, tc.epaxos);
     case System::kZab:
-      for (std::size_t i = 0; i < cluster.servers.size(); ++i)
-        servers.push_back(
-            std::make_unique<zab::ZabNode>(cluster.servers, tc.zab));
-      break;
+      return std::make_unique<ZabService>(net, cluster.servers, tc.zab);
+    case System::kRaft:
+      return std::make_unique<RaftService>(net, cluster.servers, tc.raft);
   }
-  for (std::size_t i = 0; i < cluster.servers.size(); ++i)
-    net.attach(cluster.servers[i], *servers[i]);
+  return nullptr;
+}
 
-  // --- clients -----------------------------------------------------------
-  auto recorder = std::make_shared<LatencyRecorder>();
-  recorder->set_window(tc.warmup, tc.warmup + tc.measure);
-
+/// Attaches one OpenLoopClient per client machine, spreading `offered_rate`
+/// evenly and connecting each machine to every server in its own rack/DC
+/// (the paper's client placement). Generation stops at `stop_at`.
+inline std::vector<std::unique_ptr<OpenLoopClient>> attach_clients(
+    const TrialConfig& tc, const simnet::Cluster& cluster,
+    simnet::Network& net, std::shared_ptr<LatencyRecorder> recorder,
+    double offered_rate, std::uint64_t trial_seed, Time stop_at) {
   const double per_machine_rate =
       offered_rate / static_cast<double>(cluster.clients.size());
   std::vector<std::unique_ptr<OpenLoopClient>> clients;
+  clients.reserve(cluster.clients.size());
   Rng seeder(derive_seed(trial_seed, 0xc11e57ULL));
   for (std::size_t i = 0; i < cluster.clients.size(); ++i) {
     ClientConfig cc;
@@ -154,11 +154,34 @@ inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
     cc.rate_per_s = per_machine_rate;
     cc.write_ratio = tc.write_ratio;
     cc.num_keys = tc.num_keys;
-    cc.stop_at = tc.warmup + tc.measure;
+    cc.stop_at = stop_at;
     clients.push_back(
         std::make_unique<OpenLoopClient>(cc, recorder, seeder()));
     net.attach(cluster.clients[i], *clients.back());
   }
+  return clients;
+}
+
+/// Runs one trial at `offered_rate` total requests/second (spread evenly
+/// over all client machines) and reports client-observed completions.
+inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
+  // Per-trial derived seed: every offered rate gets its own RNG stream, so
+  // a trial's result depends only on (config, rate) — never on which order
+  // or thread the harness ran it in — and sweep points are statistically
+  // independent rather than replaying one stream at different loads.
+  const std::uint64_t trial_seed =
+      derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate));
+  simnet::Simulator sim(trial_seed);
+
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+
+  std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
+
+  auto recorder = std::make_shared<LatencyRecorder>();
+  recorder->set_window(tc.warmup, tc.warmup + tc.measure);
+  auto clients = attach_clients(tc, cluster, net, recorder, offered_rate,
+                                trial_seed, tc.warmup + tc.measure);
 
   sim.run_until(tc.warmup + tc.measure + tc.drain);
   return measure(*recorder, offered_rate);

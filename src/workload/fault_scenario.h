@@ -1,0 +1,334 @@
+// FaultScenario: a named fault script that runs identically against any
+// workload::ConsensusService, plus the runner that measures availability
+// before / during / after the faults and audits safety at the end.
+//
+// A scenario speaks in *server indices* (0 .. groups*per_group-1, group-
+// major, as laid out by build_cluster); the runner maps indices onto
+// NodeIds and arms a simnet::FaultSchedule whose crash/recover events are
+// routed through the service (so the protocol instance is silenced or
+// restarted together with the network), while sever/heal act on the
+// network alone.
+//
+// The standard library covers the liveness cases the paper discusses (§6)
+// and the classics every consensus deployment meets:
+//   single_node_crash      one non-leader server crashes, later recovers
+//   leader_crash           server 0 (Zab/Raft leader) crashes, later recovers
+//   superleaf_majority_loss a majority of group 0 crashes — Canopus stalls
+//                          by design; quorum systems ride through
+//   partition_asym         one-way partition group 0 -> rest, then heal
+//   rolling_crashes        one server per group crashes and recovers in
+//                          sequence
+//
+// Safety audit (the Agreement property under faults): at the end of the
+// run, every *comparable* node (see ConsensusService::comparable) must
+// report the same commit fingerprint and count. A system may stall under a
+// fault — Canopus is expected to on majority loss — but must never diverge.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/fault_schedule.h"
+#include "workload/deployments.h"
+
+namespace canopus::workload {
+
+// --------------------------------------------------------------------------
+// Scenario definitions
+// --------------------------------------------------------------------------
+
+/// Phase boundaries of a fault trial, in absolute simulation time:
+/// before = [warmup, fault_at), during = [fault_at, heal_at),
+/// after = [heal_at, end_at); clients stop at end_at and the run drains
+/// until end_at + drain (repair traffic completes in the drain).
+struct FaultTiming {
+  Time warmup = 300 * kMillisecond;
+  Time fault_at = 800 * kMillisecond;
+  Time heal_at = 1'600 * kMillisecond;
+  Time end_at = 2'400 * kMillisecond;
+  Time drain = 600 * kMillisecond;
+};
+
+struct FaultScenario {
+  enum class Op { kCrash, kRecover, kSever, kHeal };
+  struct Step {
+    Time at = 0;
+    Op op = Op::kCrash;
+    int a = -1;  ///< server index (crash/recover) or source (sever/heal)
+    int b = -1;  ///< destination server index (sever/heal)
+  };
+
+  std::string name;
+  std::string description;
+  std::vector<Step> steps;
+  /// The scenario removes a super-leaf majority: Canopus is *expected* to
+  /// stall (and must not diverge); quorum systems are expected to proceed.
+  bool majority_loss = false;
+};
+
+/// The standard scenario suite for a `groups x per_group` deployment.
+/// Requires per_group >= 3 (rolling/single crashes must leave every
+/// super-leaf a majority) and groups >= 2.
+inline std::vector<FaultScenario> standard_scenarios(int groups,
+                                                     int per_group,
+                                                     const FaultTiming& ft) {
+  assert(groups >= 2 && per_group >= 3);
+  std::vector<FaultScenario> out;
+
+  {
+    FaultScenario s;
+    s.name = "single_node_crash";
+    s.description = "one non-leader server crashes, recovers later";
+    const int victim = per_group;  // first server of group 1
+    s.steps.push_back({ft.fault_at, FaultScenario::Op::kCrash, victim, -1});
+    s.steps.push_back({ft.heal_at, FaultScenario::Op::kRecover, victim, -1});
+    out.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "leader_crash";
+    s.description = "server 0 (Zab/Raft leader) crashes, recovers later";
+    s.steps.push_back({ft.fault_at, FaultScenario::Op::kCrash, 0, -1});
+    s.steps.push_back({ft.heal_at, FaultScenario::Op::kRecover, 0, -1});
+    out.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "superleaf_majority_loss";
+    s.description = "a majority of group 0 crashes (Canopus stalls, Sec 6)";
+    s.majority_loss = true;
+    const int majority = per_group / 2 + 1;
+    for (int v = 0; v < majority; ++v) {
+      s.steps.push_back({ft.fault_at, FaultScenario::Op::kCrash, v, -1});
+      s.steps.push_back({ft.heal_at, FaultScenario::Op::kRecover, v, -1});
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "partition_asym";
+    s.description = "one-way partition: group 0 cannot reach other groups";
+    for (int a = 0; a < per_group; ++a) {
+      for (int b = per_group; b < groups * per_group; ++b) {
+        s.steps.push_back({ft.fault_at, FaultScenario::Op::kSever, a, b});
+        s.steps.push_back({ft.heal_at, FaultScenario::Op::kHeal, a, b});
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    FaultScenario s;
+    s.name = "rolling_crashes";
+    s.description = "one server per group crashes and recovers in sequence";
+    const int waves = groups < 3 ? groups : 3;
+    const Time stagger = (ft.heal_at - ft.fault_at) / waves;
+    for (int g = 0; g < waves; ++g) {
+      const int victim = g * per_group + 1;  // never server 0 (leader_crash
+                                             // covers the leader)
+      const Time down = ft.fault_at + g * stagger;
+      s.steps.push_back({down, FaultScenario::Op::kCrash, victim, -1});
+      s.steps.push_back(
+          {down + stagger, FaultScenario::Op::kRecover, victim, -1});
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Single-DC fault-plane tuning: repair/retry intervals sized for rack RTTs
+/// so post-heal recovery completes within a scenario's after-phase (the
+/// defaults are sized for WAN RTTs; see each Config's comments), and a
+/// repair window deep enough to cover the instances a node misses while
+/// faulted at scenario rates (the small default is sized for saturation
+/// benches, where batches are huge and nothing crashes).
+inline TrialConfig fault_tuned(TrialConfig tc) {
+  tc.canopus.fetch_timeout = 100 * kMillisecond;
+  tc.epaxos.repair_retry = 25 * kMillisecond;
+  tc.epaxos.repair_window = 8'192;
+  tc.zab.sync_retry = 25 * kMillisecond;
+  return tc;
+}
+
+// --------------------------------------------------------------------------
+// Phase-splitting recorder
+// --------------------------------------------------------------------------
+
+/// Splits completions into per-phase recorders by request *arrival* time,
+/// so each phase's throughput counts exactly the requests offered in it.
+class PhasedRecorder final : public LatencyRecorder {
+ public:
+  explicit PhasedRecorder(const FaultTiming& ft) {
+    before_.set_window(ft.warmup, ft.fault_at);
+    during_.set_window(ft.fault_at, ft.heal_at);
+    after_.set_window(ft.heal_at, ft.end_at);
+  }
+
+  void complete(Time now, Time arrival) override {
+    before_.complete(now, arrival);
+    during_.complete(now, arrival);
+    after_.complete(now, arrival);
+  }
+
+  const LatencyRecorder& before() const { return before_; }
+  const LatencyRecorder& during() const { return during_; }
+  const LatencyRecorder& after() const { return after_; }
+
+ private:
+  LatencyRecorder before_, during_, after_;
+};
+
+// --------------------------------------------------------------------------
+// Runner
+// --------------------------------------------------------------------------
+
+struct ScenarioResult {
+  std::string system;
+  std::string scenario;
+
+  /// Client-observed availability per phase (same offered rate throughout).
+  Measurement before, during, after;
+
+  // Safety audit over comparable nodes at the end of the run.
+  bool digests_agree = true;
+  std::size_t comparable_nodes = 0;
+  std::uint64_t committed_writes = 0;  ///< on comparable nodes (all equal)
+
+  // Progress probes (max over live nodes, protocol units).
+  std::uint64_t progress_at_fault = 0;
+  std::uint64_t progress_at_heal = 0;
+  std::uint64_t progress_at_end = 0;
+  bool stalled_during() const { return progress_at_heal <= progress_at_fault; }
+  bool progressed_after() const { return progress_at_end > progress_at_heal; }
+
+  /// The SAFETY verdict: every comparable node committed the same writes.
+  /// Liveness is reported separately (stalled_during / progressed_after /
+  /// the per-phase availability) because the expected liveness outcome is
+  /// scenario- and system-specific — Canopus is SUPPOSED to stall on
+  /// majority loss — so callers assert it against their own expectations.
+  bool safe() const { return digests_agree; }
+};
+
+/// Runs `scenario` against the system configured in `tc` at a fixed offered
+/// rate. Deterministic: the result is a pure function of (tc, scenario,
+/// timing, rate), independent of threads or run order — trials build fresh
+/// simulators from per-trial derived seeds exactly like run_trial.
+inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
+                                         const FaultScenario& scenario,
+                                         const FaultTiming& ft,
+                                         double offered_rate) {
+  const std::uint64_t trial_seed = derive_seed(
+      derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate)),
+      std::hash<std::string>{}(scenario.name));
+  simnet::Simulator sim(trial_seed);
+
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+  std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
+
+  auto recorder = std::make_shared<PhasedRecorder>(ft);
+  auto clients = attach_clients(tc, cluster, net, recorder, offered_rate,
+                                trial_seed, ft.end_at);
+
+  ScenarioResult res;
+  res.system = service->name();
+  res.scenario = scenario.name;
+
+  // Progress probes: max over currently-up nodes. Scheduled before the
+  // fault schedule is armed so a probe at the same timestamp observes the
+  // pre-fault state (the event queue is FIFO for ties).
+  const auto max_progress = [&service] {
+    std::uint64_t p = 0;
+    for (std::size_t i = 0; i < service->num_servers(); ++i) {
+      if (service->up(i)) p = std::max(p, service->progress(i));
+    }
+    return p;
+  };
+  sim.at(ft.fault_at, [&] { res.progress_at_fault = max_progress(); });
+  sim.at(ft.heal_at, [&] { res.progress_at_heal = max_progress(); });
+
+  // Map server indices -> NodeIds and arm the schedule, routing node
+  // faults through the service.
+  simnet::FaultSchedule sched;
+  const auto node_of = [&cluster](int idx) {
+    return cluster.servers[static_cast<std::size_t>(idx)];
+  };
+  for (const FaultScenario::Step& st : scenario.steps) {
+    switch (st.op) {
+      case FaultScenario::Op::kCrash:
+        sched.crash_at(st.at, node_of(st.a));
+        break;
+      case FaultScenario::Op::kRecover:
+        sched.recover_at(st.at, node_of(st.a));
+        break;
+      case FaultScenario::Op::kSever:
+        sched.sever_at(st.at, node_of(st.a), node_of(st.b));
+        break;
+      case FaultScenario::Op::kHeal:
+        sched.heal_at(st.at, node_of(st.a), node_of(st.b));
+        break;
+    }
+  }
+  std::unordered_map<NodeId, std::size_t> index_of;
+  for (std::size_t i = 0; i < cluster.servers.size(); ++i)
+    index_of[cluster.servers[i]] = i;
+  sched.arm(net, [&service, &index_of](simnet::Network& n,
+                                       const simnet::FaultEvent& ev) {
+    switch (ev.kind) {
+      case simnet::FaultEvent::Kind::kCrash:
+        service->crash(index_of.at(ev.a));
+        break;
+      case simnet::FaultEvent::Kind::kRecover:
+        service->recover(index_of.at(ev.a));
+        break;
+      default:
+        simnet::FaultSchedule::apply(n, ev);
+    }
+  });
+
+  sim.run_until(ft.end_at + ft.drain);
+
+  // --- availability ------------------------------------------------------
+  res.before = measure(recorder->before(), offered_rate);
+  res.during = measure(recorder->during(), offered_rate);
+  res.after = measure(recorder->after(), offered_rate);
+  res.progress_at_end = max_progress();
+
+  // --- safety audit ------------------------------------------------------
+  bool first = true;
+  std::uint64_t fp = 0, count = 0;
+  for (std::size_t i = 0; i < service->num_servers(); ++i) {
+    if (!service->comparable(i)) continue;
+    ++res.comparable_nodes;
+    const std::uint64_t f = service->commit_fingerprint(i);
+    const std::uint64_t c = service->committed_writes(i);
+    if (first) {
+      fp = f;
+      count = c;
+      first = false;
+    } else if (f != fp || c != count) {
+      res.digests_agree = false;
+    }
+  }
+  res.committed_writes = count;
+  return res;
+}
+
+/// Runs the whole suite for one system; the caller typically iterates
+/// kAllSystems over this.
+inline std::vector<ScenarioResult> run_scenario_suite(
+    const TrialConfig& tc, const std::vector<FaultScenario>& scenarios,
+    const FaultTiming& ft, double offered_rate) {
+  std::vector<ScenarioResult> out;
+  out.reserve(scenarios.size());
+  for (const FaultScenario& sc : scenarios)
+    out.push_back(run_fault_scenario(tc, sc, ft, offered_rate));
+  return out;
+}
+
+}  // namespace canopus::workload

@@ -1,0 +1,293 @@
+// ConsensusService: one driver-facing facade over a deployed consensus
+// system.
+//
+// Every system in the repository (Canopus, Raft, Zab/ZooKeeper, EPaxos)
+// deploys as N server processes attached to a simnet::Network. This layer
+// gives the workload drivers — run_trial, the fault-scenario runner, the
+// benches, the examples — ONE interface to submit requests, inject node
+// faults, and audit safety, so a scenario is written once and runs
+// identically against all four systems instead of once per `switch` arm
+// (the pre-refactor deployments.h shape).
+//
+// Semantics the interface pins down:
+//  * crash(i)  — crash-stop: the network drops all traffic to/from the
+//    node AND the protocol instance silences its timers. Volatile state
+//    (un-proposed batches, unsent replies) is lost; committed state models
+//    a durable log.
+//  * recover(i) — restart with durable state; the protocol's own repair
+//    path (Raft log backoff, Zab catch-up, EPaxos instance fetch) brings
+//    the node back to the common prefix. Returns false where the protocol
+//    has no rejoin path (Canopus: a failed pnode is excluded by membership
+//    update, §4.6, and would rejoin as a *new* node — an open item).
+//  * commit_fingerprint(i) — the agreement check: equal fingerprints (and
+//    counts) on two comparable nodes mean they committed the same writes.
+//    Ordered systems hash the committed *sequence* (kv::CommitDigest);
+//    EPaxos hashes the committed *set* (kv::SetDigest) because
+//    non-interfering commands legitimately execute in different orders on
+//    different replicas.
+//  * comparable(i) — whether node i participates in the agreement check:
+//    it is up, and either it never crashed or the system can repair a
+//    recovered node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "canopus/node.h"
+#include "epaxos/epaxos.h"
+#include "kv/store.h"
+#include "kv/types.h"
+#include "raft/raft_kv.h"
+#include "simnet/network.h"
+#include "zab/zab.h"
+
+namespace canopus::workload {
+
+class ConsensusService {
+ public:
+  virtual ~ConsensusService() = default;
+
+  ConsensusService(const ConsensusService&) = delete;
+  ConsensusService& operator=(const ConsensusService&) = delete;
+
+  virtual const char* name() const = 0;
+
+  std::size_t num_servers() const { return servers_.size(); }
+  NodeId server_node(std::size_t i) const { return servers_[i]; }
+
+  /// Local submission path (examples/tests); client traffic normally
+  /// arrives as kv::ClientBatch through the network instead.
+  virtual void submit(std::size_t i, kv::Request r) = 0;
+
+  /// Crash-stop node i (network + protocol instance).
+  void crash(std::size_t i) {
+    net_.crash(servers_[i]);
+    up_[i] = false;
+    ever_crashed_[i] = true;
+    node_crash(i);
+  }
+
+  /// Restarts node i with its durable state; false if this system cannot
+  /// re-admit a crashed node (the node stays dark).
+  bool recover(std::size_t i) {
+    if (!supports_recover()) return false;
+    net_.recover(servers_[i]);
+    up_[i] = true;
+    node_recover(i);
+    return true;
+  }
+
+  bool up(std::size_t i) const { return up_[i]; }
+  bool ever_crashed(std::size_t i) const { return ever_crashed_[i]; }
+  virtual bool supports_recover() const { return true; }
+
+  /// Whether node i's fingerprint participates in the agreement check.
+  bool comparable(std::size_t i) const {
+    return up_[i] && (supports_recover() || !ever_crashed_[i]);
+  }
+
+  // --- safety/progress observers ---------------------------------------
+  virtual std::uint64_t committed_writes(std::size_t i) const = 0;
+  virtual std::uint64_t commit_fingerprint(std::size_t i) const = 0;
+  virtual std::uint64_t served_reads(std::size_t i) const = 0;
+  /// Monotone per-node progress counter in protocol units (cycles, zxids,
+  /// log indices, executed instances). Scenario checks use "did the max
+  /// over live nodes advance", never absolute values across systems.
+  virtual std::uint64_t progress(std::size_t i) const = 0;
+  virtual const kv::Store& store(std::size_t i) const = 0;
+
+  /// Fired at commit/execute time: (server index, protocol unit, batch).
+  /// The batch is the protocol's committed request batch, in its local
+  /// apply order.
+  std::function<void(std::size_t, std::uint64_t,
+                     const std::vector<kv::Request>&)>
+      on_commit;
+
+ protected:
+  ConsensusService(simnet::Network& net, std::vector<NodeId> servers)
+      : net_(net),
+        servers_(std::move(servers)),
+        up_(servers_.size(), true),
+        ever_crashed_(servers_.size(), false) {}
+
+  virtual void node_crash(std::size_t i) = 0;
+  virtual void node_recover(std::size_t /*i*/) {}
+
+  simnet::Network& net_;
+  std::vector<NodeId> servers_;
+  std::vector<bool> up_;
+  std::vector<bool> ever_crashed_;
+};
+
+/// Shared wiring of the one-Process-per-server services: owns the node
+/// instances, attaches them, and forwards everything the four node types
+/// expose with the same shape (submit / crash / store / digest /
+/// served_reads). A concrete service supplies the node factory plus the
+/// system-specific pieces: name, progress units, fingerprint semantics,
+/// and recovery support.
+template <class Node>
+class NodeService : public ConsensusService {
+ public:
+  void submit(std::size_t i, kv::Request r) override {
+    nodes_[i]->submit(std::move(r));
+  }
+  std::uint64_t committed_writes(std::size_t i) const override {
+    return nodes_[i]->digest().count();
+  }
+  std::uint64_t commit_fingerprint(std::size_t i) const override {
+    return nodes_[i]->digest().value();
+  }
+  std::uint64_t served_reads(std::size_t i) const override {
+    return nodes_[i]->served_reads();
+  }
+  const kv::Store& store(std::size_t i) const override {
+    return nodes_[i]->store();
+  }
+
+  Node& node(std::size_t i) { return *nodes_[i]; }
+
+ protected:
+  template <class MakeNode>  // MakeNode: size_t -> unique_ptr<Node>
+  NodeService(simnet::Network& net, std::vector<NodeId> servers,
+              const MakeNode& make)
+      : ConsensusService(net, std::move(servers)) {
+    nodes_.reserve(servers_.size());
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      nodes_.push_back(make(i));
+      net_.attach(servers_[i], *nodes_.back());
+    }
+  }
+
+  void node_crash(std::size_t i) override { nodes_[i]->crash(); }
+  void node_recover(std::size_t i) override {
+    if constexpr (requires(Node& n) { n.recover(); }) nodes_[i]->recover();
+  }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+// --------------------------------------------------------------------------
+// Canopus
+// --------------------------------------------------------------------------
+
+class CanopusService final : public NodeService<core::CanopusNode> {
+ public:
+  CanopusService(simnet::Network& net, std::vector<NodeId> servers,
+                 const lot::LotConfig& lc, core::Config cfg)
+      : CanopusService(net, std::move(servers),
+                       std::make_shared<const lot::Lot>(lot::Lot::build(lc)),
+                       std::move(cfg)) {}
+
+  const char* name() const override { return "Canopus"; }
+  /// A failed pnode is excluded via membership update (§4.6); rejoining is
+  /// an open item, so recovery is unsupported and the node stays dark.
+  bool supports_recover() const override { return false; }
+
+  std::uint64_t progress(std::size_t i) const override {
+    return nodes_[i]->last_committed_cycle();
+  }
+
+  const lot::Lot& lot() const { return *lot_; }
+
+ private:
+  CanopusService(simnet::Network& net, std::vector<NodeId> servers,
+                 std::shared_ptr<const lot::Lot> lot, core::Config cfg)
+      : NodeService(net, std::move(servers),
+                    [&](std::size_t) {
+                      return std::make_unique<core::CanopusNode>(lot, cfg);
+                    }),
+        lot_(std::move(lot)) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i]->on_commit = [this, i](CycleId c,
+                                       const std::vector<kv::Request>& w) {
+        if (on_commit) on_commit(i, c, w);
+      };
+  }
+
+  std::shared_ptr<const lot::Lot> lot_;
+};
+
+// --------------------------------------------------------------------------
+// Raft (standalone deployment)
+// --------------------------------------------------------------------------
+
+class RaftService final : public NodeService<raft::RaftKvNode> {
+ public:
+  RaftService(simnet::Network& net, std::vector<NodeId> servers,
+              raft::KvConfig cfg)
+      : NodeService(net, std::move(servers), [&](std::size_t) {
+          return std::make_unique<raft::RaftKvNode>(servers_, cfg);
+        }) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i]->on_commit = [this, i](raft::LogIndex idx,
+                                       const std::vector<kv::Request>& w) {
+        if (on_commit) on_commit(i, idx, w);
+      };
+  }
+
+  const char* name() const override { return "Raft"; }
+  std::uint64_t progress(std::size_t i) const override {
+    return nodes_[i]->commit_index();
+  }
+};
+
+// --------------------------------------------------------------------------
+// Zab / ZooKeeper
+// --------------------------------------------------------------------------
+
+class ZabService final : public NodeService<zab::ZabNode> {
+ public:
+  ZabService(simnet::Network& net, std::vector<NodeId> servers,
+             zab::Config cfg)
+      : NodeService(net, std::move(servers), [&](std::size_t) {
+          return std::make_unique<zab::ZabNode>(servers_, cfg);
+        }) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i]->on_commit = [this, i](zab::Zxid z,
+                                       const std::vector<kv::Request>& w) {
+        if (on_commit) on_commit(i, z, w);
+      };
+  }
+
+  const char* name() const override { return "ZooKeeper"; }
+  std::uint64_t progress(std::size_t i) const override {
+    return nodes_[i]->applied_upto();
+  }
+};
+
+// --------------------------------------------------------------------------
+// EPaxos
+// --------------------------------------------------------------------------
+
+class EPaxosService final : public NodeService<epaxos::EPaxosNode> {
+ public:
+  EPaxosService(simnet::Network& net, std::vector<NodeId> servers,
+                epaxos::Config cfg)
+      : NodeService(net, std::move(servers), [&](std::size_t) {
+          return std::make_unique<epaxos::EPaxosNode>(servers_, cfg);
+        }) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i]->on_execute =
+          [this, i](const std::vector<kv::Request>& batch) {
+            if (on_commit) on_commit(i, 0, batch);
+          };
+  }
+
+  const char* name() const override { return "EPaxos"; }
+
+  /// Set digest, not sequence digest: see the class comment.
+  std::uint64_t committed_writes(std::size_t i) const override {
+    return nodes_[i]->set_digest().count();
+  }
+  std::uint64_t commit_fingerprint(std::size_t i) const override {
+    return nodes_[i]->set_digest().value();
+  }
+  std::uint64_t progress(std::size_t i) const override {
+    return nodes_[i]->executed_requests();
+  }
+};
+
+}  // namespace canopus::workload

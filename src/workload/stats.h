@@ -88,8 +88,12 @@ class LatencyHistogram {
 };
 
 /// Shared sink for client-side completions within a measurement window.
+/// `complete` is virtual so fault-scenario runs can substitute a sink that
+/// splits completions into per-phase windows (workload/fault_scenario.h).
 class LatencyRecorder {
  public:
+  virtual ~LatencyRecorder() = default;
+
   void set_window(Time begin, Time end) {
     begin_ = begin;
     end_ = end;
@@ -102,7 +106,7 @@ class LatencyRecorder {
 
   /// Records a completion observed at `now` for a request that arrived at
   /// `arrival`; only arrivals inside the window count (steady state).
-  void complete(Time now, Time arrival) {
+  virtual void complete(Time now, Time arrival) {
     if (arrival < begin_ || arrival >= end_) return;
     hist_.record(now - arrival);
   }

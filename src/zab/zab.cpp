@@ -25,7 +25,35 @@ ZabNode::Role ZabNode::role() const {
                                                          : Role::kObserver;
 }
 
+void ZabNode::crash() {
+  crashed_ = true;
+  // Volatile request buffers die with the process; the committed store,
+  // the uncommitted/ready tables and the leader's in-flight table model
+  // state recovered from the durable log.
+  if (role() == Role::kLeader) pending_.clear();
+  reply_buffer_.clear();
+}
+
+void ZabNode::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  if (role() == Role::kLeader) {
+    // Resume the commit pipeline: unacked proposals go out again.
+    if (!in_flight_.empty()) arm_retransmit_timer();
+  } else {
+    resync();
+  }
+}
+
+void ZabNode::resync() {
+  if (crashed_ || role() == Role::kLeader) return;
+  SyncReq sr{next_apply_};
+  send(leader_, SyncReq::kWire, sr);
+  arm_sync_timer();
+}
+
 void ZabNode::submit(kv::Request r) {
+  if (crashed_) return;
   r.origin = node_id();
   if (!r.is_write) {
     // Reads are served locally from committed state (ZooKeeper semantics).
@@ -42,7 +70,7 @@ void ZabNode::submit(kv::Request r) {
       batch_timer_armed_ = true;
       after(cfg_.batch_interval, [this] {
         batch_timer_armed_ = false;
-        flush_batch();
+        if (!crashed_) flush_batch();
       });
     }
   } else {
@@ -52,6 +80,7 @@ void ZabNode::submit(kv::Request r) {
 }
 
 void ZabNode::on_message(const simnet::Message& m) {
+  if (crashed_) return;
   if (const auto* batch = m.as<kv::ClientBatch>()) {
     // Forward writes in one message; serve reads immediately.
     Forward fwd;
@@ -69,7 +98,7 @@ void ZabNode::on_message(const simnet::Message& m) {
           batch_timer_armed_ = true;
           after(cfg_.batch_interval, [this] {
             batch_timer_armed_ = false;
-            flush_batch();
+            if (!crashed_) flush_batch();
           });
         }
       } else {
@@ -83,17 +112,13 @@ void ZabNode::on_message(const simnet::Message& m) {
   } else if (const auto* p = m.as<Propose>()) {
     handle_propose(m.src(), *p);
   } else if (const auto* a = m.as<Ack>()) {
-    handle_ack(*a);
+    handle_ack(m.src(), *a);
   } else if (const auto* c = m.as<CommitMsg>()) {
     handle_commit(*c);
   } else if (const auto* inf = m.as<Inform>()) {
-    // Observers: commit arrives with the data, in zxid order.
-    ready_[inf->zxid] = inf->batch;
-    while (ready_.contains(next_apply_)) {
-      apply(next_apply_, *ready_[next_apply_]);
-      ready_.erase(next_apply_);
-      ++next_apply_;
-    }
+    handle_inform(*inf);
+  } else if (const auto* sr = m.as<SyncReq>()) {
+    handle_sync_req(m.src(), *sr);
   }
 }
 
@@ -104,7 +129,7 @@ void ZabNode::handle_forward(const Forward& f) {
     batch_timer_armed_ = true;
     after(cfg_.batch_interval, [this] {
       batch_timer_armed_ = false;
-      flush_batch();
+      if (!crashed_) flush_batch();
     });
   }
 }
@@ -126,25 +151,52 @@ void ZabNode::flush_batch() {
        ++i) {
     send(members_[static_cast<std::size_t>(i)], p.wire_bytes(), p);
   }
+  arm_retransmit_timer();
   if (quorum() <= 1) {  // degenerate single-node ensemble
     fl.committed = true;
-    apply(z, *fl.batch);
+    ready_[z] = fl.batch;
     in_flight_.erase(z);
+    advance_apply();
   }
 }
 
+void ZabNode::arm_retransmit_timer() {
+  if (retransmit_timer_armed_ || in_flight_.empty()) return;
+  retransmit_timer_armed_ = true;
+  after(cfg_.sync_retry, [this] {
+    retransmit_timer_armed_ = false;
+    if (crashed_ || in_flight_.empty()) return;
+    // A proposal still unacked after a full retry interval was lost to a
+    // crash or partition: resend it to every follower that has not acked.
+    for (const auto& [zxid, fl] : in_flight_) {
+      Propose p{zxid, fl.batch};
+      for (int i = 1; i <= cfg_.followers &&
+                      i < static_cast<int>(members_.size());
+           ++i) {
+        const NodeId peer = members_[static_cast<std::size_t>(i)];
+        if (!fl.acked.contains(peer)) send(peer, p.wire_bytes(), p);
+      }
+    }
+    arm_retransmit_timer();
+  });
+}
+
 void ZabNode::handle_propose(NodeId src, const Propose& p) {
-  uncommitted_[p.zxid] = p.batch;
+  // A retransmitted Propose can race a catch-up Inform and arrive after
+  // its zxid was applied; holding it again would leak the entry forever
+  // (no further Commit will come). The ack is still sent — idempotent at
+  // the leader.
+  if (p.zxid >= next_apply_) uncommitted_[p.zxid] = p.batch;
   Ack a{p.zxid};
   send(src, Ack::kWire, a);
 }
 
-void ZabNode::handle_ack(const Ack& a) {
+void ZabNode::handle_ack(NodeId src, const Ack& a) {
   auto it = in_flight_.find(a.zxid);
   if (it == in_flight_.end() || it->second.committed) return;
   InFlight& fl = it->second;
-  ++fl.acks;
-  if (static_cast<std::size_t>(fl.acks) < quorum()) return;
+  if (!fl.acked.insert(src).second) return;  // duplicate ack (retransmit)
+  if (fl.acked.size() + 1 < quorum()) return;
   fl.committed = true;
 
   // Commit to followers (they hold the batch); Inform observers with data.
@@ -156,20 +208,83 @@ void ZabNode::handle_ack(const Ack& a) {
     else
       send(members_[i], inf.wire_bytes(), inf);
   }
-  apply(a.zxid, *fl.batch);
+  // Quorums can complete out of zxid order under retransmission; the
+  // leader applies through the same strictly-ordered path as everyone
+  // else so all digests see one order.
+  ready_[a.zxid] = fl.batch;
   in_flight_.erase(it);
+  advance_apply();
+}
+
+void ZabNode::record_history(
+    [[maybe_unused]] Zxid zxid,
+    std::shared_ptr<const std::vector<kv::Request>> batch) {
+  // Commits happen in zxid order at the leader, so the ring stays dense.
+  assert(zxid == history_base_ + history_.size());
+  history_.push_back(std::move(batch));
+  while (history_.size() > cfg_.history_depth) {
+    history_.pop_front();
+    ++history_base_;
+  }
+}
+
+void ZabNode::handle_sync_req(NodeId src, const SyncReq& sr) {
+  if (role() != Role::kLeader) return;
+  // Resend every committed batch the requester is missing, oldest first.
+  // Batches older than the history window are gone (snapshot transfer is
+  // an open item); the requester stays stalled rather than applying a gap.
+  const Zxid first = std::max(sr.from, history_base_);
+  const Zxid last = history_base_ + history_.size();  // one past the end
+  for (Zxid z = first; z < last; ++z) {
+    Inform inf{z, history_[static_cast<std::size_t>(z - history_base_)]};
+    send(src, inf.wire_bytes(), inf);
+  }
 }
 
 void ZabNode::handle_commit(const CommitMsg& c) {
+  max_committed_seen_ = std::max(max_committed_seen_, c.zxid);
   auto it = uncommitted_.find(c.zxid);
-  if (it == uncommitted_.end()) return;
-  ready_[c.zxid] = std::move(it->second);
-  uncommitted_.erase(it);
+  if (it != uncommitted_.end()) {
+    ready_[c.zxid] = std::move(it->second);
+    uncommitted_.erase(it);
+  }
+  advance_apply();
+}
+
+void ZabNode::handle_inform(const Inform& inf) {
+  max_committed_seen_ = std::max(max_committed_seen_, inf.zxid);
+  if (inf.zxid >= next_apply_) {
+    ready_[inf.zxid] = inf.batch;
+    uncommitted_.erase(inf.zxid);  // catch-up may overtake a held proposal
+  }
+  advance_apply();
+}
+
+void ZabNode::advance_apply() {
+  const bool leader = role() == Role::kLeader;
   while (ready_.contains(next_apply_)) {
+    if (leader) record_history(next_apply_, ready_[next_apply_]);
     apply(next_apply_, *ready_[next_apply_]);
     ready_.erase(next_apply_);
     ++next_apply_;
   }
+  // A committed zxid we cannot apply yet means a lost proposal or a missed
+  // commit: ask the leader for the gap (throttled by the sync timer).
+  if (next_apply_ <= max_committed_seen_) arm_sync_timer();
+}
+
+void ZabNode::arm_sync_timer() {
+  if (sync_timer_armed_ || role() == Role::kLeader) return;
+  sync_timer_armed_ = true;
+  after(cfg_.sync_retry, [this] {
+    sync_timer_armed_ = false;
+    if (crashed_) return;
+    if (next_apply_ <= max_committed_seen_) {
+      SyncReq sr{next_apply_};
+      send(leader_, SyncReq::kWire, sr);
+      arm_sync_timer();
+    }
+  });
 }
 
 void ZabNode::apply(Zxid zxid, const std::vector<kv::Request>& batch) {
@@ -183,6 +298,7 @@ void ZabNode::apply(Zxid zxid, const std::vector<kv::Request>& batch) {
       reply_buffer_[r.id.client].done.push_back(done);
     }
   }
+  max_committed_seen_ = std::max(max_committed_seen_, zxid);
   if (on_commit) on_commit(zxid, batch);
   flush_replies();
 }

@@ -20,9 +20,11 @@
 // with the number of followers + observers.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "kv/store.h"
@@ -44,6 +46,14 @@ struct Config {
   /// serving node.
   Time cpu_per_write = 1'000;
   Time cpu_per_read = 1'000;
+  /// Fault-plane tuning: how often the leader retransmits unacked proposals
+  /// and a lagging member retries its catch-up request.
+  Time sync_retry = 50 * kMillisecond;
+  /// Committed batches the leader retains for member catch-up. A member
+  /// that falls further behind than this window can no longer be repaired
+  /// (real ZooKeeper would ship a snapshot; see ROADMAP open items) and
+  /// stalls — it never applies out of order.
+  std::size_t history_depth = 4'096;
 };
 
 using Zxid = std::uint64_t;
@@ -82,6 +92,11 @@ struct Inform {  // leader -> observers (carries the data)
   }
 };
 
+struct SyncReq {  // lagging member -> leader: resend commits from `from` on
+  Zxid from = 0;
+  static constexpr std::size_t kWire = 24;
+};
+
 class ZabNode : public simnet::Process {
  public:
   enum class Role { kLeader, kFollower, kObserver };
@@ -95,9 +110,21 @@ class ZabNode : public simnet::Process {
 
   void submit(kv::Request r);
 
+  /// Crash-stop: the node drops all traffic and timers until recover().
+  /// Committed state, the uncommitted proposal buffer and (on the leader)
+  /// the in-flight table survive — the durable-log crash-recovery model.
+  void crash();
+  /// Restart after a crash; a non-leader immediately requests catch-up.
+  void recover();
+  bool crashed() const { return crashed_; }
+  /// Asks the leader to resend committed batches this node is missing.
+  void resync();
+
   Role role() const;
   std::uint64_t committed_writes() const { return digest_.count(); }
   std::uint64_t served_reads() const { return served_reads_; }
+  /// Highest zxid applied locally (commits apply strictly in zxid order).
+  Zxid applied_upto() const { return next_apply_ - 1; }
   const kv::Store& store() const { return store_; }
   const kv::CommitDigest& digest() const { return digest_; }
 
@@ -106,16 +133,24 @@ class ZabNode : public simnet::Process {
  private:
   struct InFlight {
     std::shared_ptr<const std::vector<kv::Request>> batch;
-    int acks = 1;  // leader's own vote
+    /// Followers whose Ack arrived (the leader's own vote is implicit).
+    std::unordered_set<NodeId> acked;
     bool committed = false;
   };
 
   void flush_batch();                       // leader only
   void apply(Zxid zxid, const std::vector<kv::Request>& batch);
+  void advance_apply();
   void handle_forward(const Forward& f);    // leader only
   void handle_propose(NodeId src, const Propose& p);
-  void handle_ack(const Ack& a);            // leader only
+  void handle_ack(NodeId src, const Ack& a);  // leader only
   void handle_commit(const CommitMsg& c);
+  void handle_inform(const Inform& inf);
+  void handle_sync_req(NodeId src, const SyncReq& sr);  // leader only
+  void record_history(Zxid zxid,
+                      std::shared_ptr<const std::vector<kv::Request>> batch);
+  void arm_retransmit_timer();              // leader only
+  void arm_sync_timer();                    // lagging member
   void flush_replies();
   std::size_t quorum() const {
     return (static_cast<std::size_t>(cfg_.followers) + 1) / 2 + 1;
@@ -130,6 +165,11 @@ class ZabNode : public simnet::Process {
   Zxid next_zxid_ = 1;
   std::unordered_map<Zxid, InFlight> in_flight_;
   bool batch_timer_armed_ = false;
+  bool retransmit_timer_armed_ = false;
+  /// Committed-batch ring for catch-up: history_[i] holds zxid
+  /// history_base_ + i; bounded by cfg_.history_depth.
+  std::deque<std::shared_ptr<const std::vector<kv::Request>>> history_;
+  Zxid history_base_ = 1;
 
   // Follower/observer state: proposals held until their commit arrives;
   // commits are applied strictly in zxid order.
@@ -138,6 +178,12 @@ class ZabNode : public simnet::Process {
   std::unordered_map<Zxid, std::shared_ptr<const std::vector<kv::Request>>>
       ready_;
   Zxid next_apply_ = 1;
+  /// Highest zxid known committed cluster-wide (from CommitMsg/Inform).
+  /// next_apply_ <= max_committed_seen_ means this member has a gap and
+  /// needs catch-up.
+  Zxid max_committed_seen_ = 0;
+  bool sync_timer_armed_ = false;
+  bool crashed_ = false;
 
   kv::Store store_;
   kv::CommitDigest digest_;
@@ -152,3 +198,4 @@ CANOPUS_REGISTER_PAYLOAD(canopus::zab::Propose, kZabPropose);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::Ack, kZabAck);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::CommitMsg, kZabCommit);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::Inform, kZabInform);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::SyncReq, kZabSyncReq);

@@ -129,6 +129,113 @@ TEST_F(EPaxosTest, BelowFastQuorumStalls) {
   EXPECT_EQ(nodes_[0]->store().read(5), 0u);  // never committed
 }
 
+TEST_F(EPaxosTest, PartitionedReplicaRepairsMissedInstances) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  build(5, cfg);
+  // Replica 4 misses everything from replica 0 during a one-way partition;
+  // the commit of a later instance reveals the gap and repair fetches the
+  // missed batches back.
+  net_->sever(cluster_.servers[0], cluster_.servers[4]);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(100 * kMillisecond);
+  EXPECT_EQ(nodes_[4]->store().read(1), 0u);
+  net_->heal(cluster_.servers[0], cluster_.servers[4]);
+  write_at(150 * kMillisecond, 0, 2, 22);  // post-heal traffic reveals gap
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[4]->store().read(1), 11u);
+  EXPECT_EQ(nodes_[4]->store().read(2), 22u);
+  EXPECT_TRUE(nodes_[4]->set_digest() == nodes_[0]->set_digest());
+}
+
+TEST_F(EPaxosTest, CrashedReplicaResyncsOnRecovery) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  build(5, cfg);
+  sim_->at(10 * kMillisecond, [this] {
+    net_->crash(cluster_.servers[4]);
+    nodes_[4]->crash();
+  });
+  write_at(50 * kMillisecond, 0, 1, 11);
+  write_at(60 * kMillisecond, 1, 2, 22);
+  sim_->run_until(300 * kMillisecond);
+  sim_->at(sim_->now(), [this] {
+    net_->recover(cluster_.servers[4]);
+    nodes_[4]->recover();  // probes peers for missed instances
+  });
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[4]->store().read(1), 11u);
+  EXPECT_EQ(nodes_[4]->store().read(2), 22u);
+  EXPECT_TRUE(nodes_[4]->set_digest() == nodes_[0]->set_digest());
+}
+
+TEST_F(EPaxosTest, RecoveredLeaderRetransmitsItsOwnInFlightInstances) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  build(3, cfg);
+  // The acks (not the PreAccepts) are lost, then the leader crashes with
+  // its own instance in flight and recovers into an otherwise IDLE
+  // cluster: no other leader ever commits, so SeqProbe replies report no
+  // gaps — only the own-instance retransmit loop can finish the commit.
+  net_->sever(cluster_.servers[1], cluster_.servers[0]);
+  net_->sever(cluster_.servers[2], cluster_.servers[0]);
+  write_at(kMillisecond, 0, 9, 99);
+  sim_->run_until(50 * kMillisecond);
+  EXPECT_EQ(nodes_[0]->store().read(9), 0u);  // below fast quorum
+  sim_->at(sim_->now(), [this] {
+    net_->crash(cluster_.servers[0]);
+    nodes_[0]->crash();
+  });
+  sim_->run_until(60 * kMillisecond);
+  net_->heal(cluster_.servers[1], cluster_.servers[0]);
+  net_->heal(cluster_.servers[2], cluster_.servers[0]);
+  sim_->at(100 * kMillisecond, [this] {
+    net_->recover(cluster_.servers[0]);
+    nodes_[0]->recover();
+  });
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(9), 99u);
+  EXPECT_TRUE(nodes_[0]->set_digest() == nodes_[1]->set_digest());
+}
+
+TEST_F(EPaxosTest, PreAcceptRetransmitCannotDoubleCountAcks) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  build(5, cfg);
+  // Sever the leader's path to 3 of 4 peers: the one remaining ok (plus
+  // the leader's implicit vote) is below the fast quorum of 3, and the
+  // retransmit path must not commit by counting a re-acked peer twice.
+  net_->sever(cluster_.servers[0], cluster_.servers[2]);
+  net_->sever(cluster_.servers[0], cluster_.servers[3]);
+  net_->sever(cluster_.servers[0], cluster_.servers[4]);
+  write_at(kMillisecond, 0, 5, 55);
+  sim_->run_until(500 * kMillisecond);  // many retransmit rounds
+  EXPECT_EQ(nodes_[0]->store().read(5), 0u);  // still below fast quorum
+  // Heal: the next retransmission completes the quorum.
+  net_->heal(cluster_.servers[0], cluster_.servers[2]);
+  net_->heal(cluster_.servers[0], cluster_.servers[3]);
+  net_->heal(cluster_.servers[0], cluster_.servers[4]);
+  sim_->run_until(kSecond);
+  for (auto& n : nodes_) EXPECT_EQ(n->store().read(5), 55u);
+}
+
+TEST_F(EPaxosTest, SetDigestOrderInsensitive) {
+  kv::SetDigest a, b;
+  kv::Request r1, r2;
+  r1.is_write = r2.is_write = true;
+  r1.key = 1, r1.value = 11;
+  r2.key = 2, r2.value = 22;
+  a.append(r1);
+  a.append(r2);
+  b.append(r2);
+  b.append(r1);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.count(), 2u);
+  kv::SetDigest c;
+  c.append(r1);
+  EXPECT_FALSE(a == c);
+}
+
 TEST_F(EPaxosTest, InterferingInstancesExecuteInDependencyOrder) {
   Config cfg;
   cfg.interference = 1.0;  // every instance conflicts

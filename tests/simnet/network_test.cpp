@@ -155,6 +155,84 @@ TEST_F(NetworkTest, SeverBlocksOneDirectionOnly) {
   EXPECT_EQ(procs_[1].received.size(), 1u);
 }
 
+TEST_F(NetworkTest, SeverIsPerDirectedPair) {
+  build(3);
+  // Severing 0 -> 1 must not affect 0 -> 2, 2 -> 1, or 1 -> 0.
+  net_->sever(cluster_.servers[0], cluster_.servers[1]);
+  sim_.at(0, [&] {
+    procs_[0].say(cluster_.servers[1], 10, "dropped");
+    procs_[0].say(cluster_.servers[2], 10, "ok02");
+    procs_[2].say(cluster_.servers[1], 10, "ok21");
+    procs_[1].say(cluster_.servers[0], 10, "ok10");
+  });
+  sim_.run();
+  ASSERT_EQ(procs_[1].received.size(), 1u);
+  EXPECT_EQ(procs_[1].received[0].text, "ok21");
+  ASSERT_EQ(procs_[2].received.size(), 1u);
+  ASSERT_EQ(procs_[0].received.size(), 1u);
+}
+
+TEST_F(NetworkTest, SeverCountsDropsInStats) {
+  build(2);
+  net_->sever(cluster_.servers[0], cluster_.servers[1]);
+  sim_.at(0, [&] {
+    procs_[0].say(cluster_.servers[1], 10, "a");
+    procs_[0].say(cluster_.servers[1], 10, "b");
+  });
+  sim_.run();
+  EXPECT_EQ(net_->stats().dropped, 2u);
+  // Severed sends never enter the wire: no message/byte accounting.
+  EXPECT_EQ(net_->stats().messages, 0u);
+  EXPECT_EQ(net_->stats().bytes, 0u);
+}
+
+TEST_F(NetworkTest, HealOnlyAffectsTheNamedPair) {
+  build(3);
+  net_->sever(cluster_.servers[0], cluster_.servers[1]);
+  net_->sever(cluster_.servers[0], cluster_.servers[2]);
+  net_->heal(cluster_.servers[0], cluster_.servers[1]);
+  // Healing a pair that was never severed is a no-op, not an error.
+  net_->heal(cluster_.servers[1], cluster_.servers[2]);
+  sim_.at(0, [&] {
+    procs_[0].say(cluster_.servers[1], 10, "healed");
+    procs_[0].say(cluster_.servers[2], 10, "still-dropped");
+  });
+  sim_.run();
+  EXPECT_EQ(procs_[1].received.size(), 1u);
+  EXPECT_TRUE(procs_[2].received.empty());
+  EXPECT_EQ(net_->stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, SeverDoesNotBlockLocalDelivery) {
+  build(2);
+  // Self-traffic takes the local path; a (nonsensical) self-sever must not
+  // black-hole it.
+  net_->sever(cluster_.servers[0], cluster_.servers[0]);
+  sim_.at(0, [&] { procs_[0].say(cluster_.servers[0], 10, "me"); });
+  sim_.run();
+  EXPECT_EQ(procs_[0].received.size(), 1u);
+  EXPECT_EQ(net_->stats().dropped, 0u);
+}
+
+TEST_F(NetworkTest, DroppedAccountingUnderCrashPlusPartition) {
+  build(3);
+  // One crashed destination, one severed pair, one in-flight message whose
+  // destination crashes mid-delivery: each drop is counted exactly once.
+  net_->crash(cluster_.servers[1]);
+  net_->sever(cluster_.servers[0], cluster_.servers[2]);
+  sim_.at(0, [&] {
+    procs_[0].say(cluster_.servers[1], 10, "to-crashed");   // dropped at dst
+    procs_[0].say(cluster_.servers[2], 10, "to-severed");   // dropped at src
+    procs_[2].say(cluster_.servers[0], 10, "in-flight");
+  });
+  sim_.at(1, [&] { net_->crash(cluster_.servers[0]); });    // eats in-flight
+  sim_.run();
+  EXPECT_TRUE(procs_[0].received.empty());
+  EXPECT_TRUE(procs_[1].received.empty());
+  EXPECT_TRUE(procs_[2].received.empty());
+  EXPECT_EQ(net_->stats().dropped, 3u);
+}
+
 TEST_F(NetworkTest, SelfSendDeliversLocally) {
   build(2);
   sim_.at(0, [&] { procs_[0].say(cluster_.servers[0], 10, "me"); });

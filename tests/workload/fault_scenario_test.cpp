@@ -1,0 +1,135 @@
+// Fault scenarios end to end: every system runs the standard suite through
+// ConsensusService under open-loop load; live nodes must agree in every
+// scenario, and Canopus must stall-not-corrupt on super-leaf majority loss.
+#include "workload/fault_scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace canopus::workload {
+namespace {
+
+FaultTiming short_timing() {
+  FaultTiming ft;
+  ft.warmup = 200 * kMillisecond;
+  ft.fault_at = 600 * kMillisecond;
+  ft.heal_at = 1'300 * kMillisecond;
+  ft.end_at = 2'000 * kMillisecond;
+  ft.drain = 500 * kMillisecond;
+  return ft;
+}
+
+TrialConfig small_config(System sys) {
+  TrialConfig tc;
+  tc.system = sys;
+  tc.groups = 2;
+  tc.per_group = 3;
+  tc.client_machines = 1;
+  tc.warmup = short_timing().warmup;
+  return fault_tuned(tc);
+}
+
+TEST(StandardScenarios, SuiteShape) {
+  const FaultTiming ft = short_timing();
+  const auto suite = standard_scenarios(3, 3, ft);
+  ASSERT_EQ(suite.size(), 5u);
+  int majority_loss = 0;
+  for (const FaultScenario& sc : suite) {
+    EXPECT_FALSE(sc.name.empty());
+    EXPECT_FALSE(sc.steps.empty());
+    for (const auto& st : sc.steps) {
+      EXPECT_GE(st.at, ft.fault_at);
+      EXPECT_LE(st.at, ft.heal_at);
+      EXPECT_GE(st.a, 0);
+      EXPECT_LT(st.a, 9);
+    }
+    if (sc.majority_loss) ++majority_loss;
+  }
+  EXPECT_EQ(majority_loss, 1);
+  // The one-way partition severs every group-0 -> other-group pair.
+  const auto& part = suite[3];
+  EXPECT_EQ(part.name, "partition_asym");
+  EXPECT_EQ(part.steps.size(), 2u * 3u * 6u);
+}
+
+TEST(PhasedRecorder, RoutesByArrivalPhase) {
+  const FaultTiming ft = short_timing();
+  PhasedRecorder rec(ft);
+  rec.complete(ft.fault_at, ft.warmup + 1);          // before-phase arrival
+  rec.complete(ft.heal_at, ft.fault_at + 1);         // during
+  rec.complete(ft.end_at, ft.heal_at + 1);           // after
+  rec.complete(ft.end_at, ft.warmup - 1);            // pre-warmup: nowhere
+  EXPECT_EQ(rec.before().completed(), 1u);
+  EXPECT_EQ(rec.during().completed(), 1u);
+  EXPECT_EQ(rec.after().completed(), 1u);
+}
+
+class ScenarioSuiteTest : public ::testing::TestWithParam<System> {};
+
+TEST_P(ScenarioSuiteTest, AllScenariosSafeAndAvailableBeforeFault) {
+  const FaultTiming ft = short_timing();
+  const TrialConfig tc = small_config(GetParam());
+  const auto suite = standard_scenarios(tc.groups, tc.per_group, ft);
+  for (const FaultScenario& sc : suite) {
+    const ScenarioResult r = run_fault_scenario(tc, sc, ft, 5'000);
+    EXPECT_TRUE(r.safe()) << r.system << " diverged in " << sc.name;
+    EXPECT_GT(r.before.throughput, 0.5 * 5'000)
+        << r.system << " unhealthy before faults in " << sc.name;
+    EXPECT_GT(r.comparable_nodes, 0u);
+    EXPECT_GT(r.committed_writes, 0u) << sc.name;
+  }
+}
+
+TEST_P(ScenarioSuiteTest, MajorityLossStallsOnlyCanopus) {
+  const FaultTiming ft = short_timing();
+  const TrialConfig tc = small_config(GetParam());
+  const auto suite = standard_scenarios(tc.groups, tc.per_group, ft);
+  const FaultScenario& loss = suite[2];
+  ASSERT_TRUE(loss.majority_loss);
+  const ScenarioResult r = run_fault_scenario(tc, loss, ft, 5'000);
+  EXPECT_TRUE(r.safe());
+  if (GetParam() == System::kCanopus) {
+    // The documented §6 trade: no progress while a super-leaf lacks a
+    // majority — and no divergence.
+    EXPECT_TRUE(r.stalled_during());
+    EXPECT_FALSE(r.progressed_after());  // crashed pnodes cannot rejoin
+  } else {
+    // Quorum systems lose at most the crashed minority's capacity.
+    EXPECT_TRUE(r.progressed_after());
+  }
+}
+
+TEST_P(ScenarioSuiteTest, RecoverableSystemsRegainAvailabilityAfterCrash) {
+  if (GetParam() == System::kCanopus) GTEST_SKIP() << "no rejoin path";
+  const FaultTiming ft = short_timing();
+  const TrialConfig tc = small_config(GetParam());
+  const auto suite = standard_scenarios(tc.groups, tc.per_group, ft);
+  const ScenarioResult r = run_fault_scenario(tc, suite[0], ft, 5'000);
+  ASSERT_EQ(r.scenario, "single_node_crash");
+  EXPECT_TRUE(r.safe());
+  EXPECT_TRUE(r.progressed_after());
+  EXPECT_GT(r.after.throughput, 0.5 * 5'000) << r.system;
+}
+
+TEST_P(ScenarioSuiteTest, DeterministicAcrossRuns) {
+  const FaultTiming ft = short_timing();
+  const TrialConfig tc = small_config(GetParam());
+  const auto suite = standard_scenarios(tc.groups, tc.per_group, ft);
+  const ScenarioResult a = run_fault_scenario(tc, suite[1], ft, 5'000);
+  const ScenarioResult b = run_fault_scenario(tc, suite[1], ft, 5'000);
+  EXPECT_EQ(a.before.completed, b.before.completed);
+  EXPECT_EQ(a.during.completed, b.during.completed);
+  EXPECT_EQ(a.after.completed, b.after.completed);
+  EXPECT_EQ(a.during.median, b.during.median);
+  EXPECT_EQ(a.committed_writes, b.committed_writes);
+  EXPECT_EQ(a.progress_at_end, b.progress_at_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ScenarioSuiteTest,
+                         ::testing::Values(System::kCanopus, System::kRaft,
+                                           System::kZab, System::kEPaxos),
+                         [](const auto& info) {
+                           return std::string(system_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace canopus::workload

@@ -1,0 +1,166 @@
+// ConsensusService: the uniform facade drives all four systems through the
+// same submit/crash/recover/audit surface.
+#include "workload/service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/deployments.h"
+
+namespace canopus::workload {
+namespace {
+
+struct Deployment {
+  TrialConfig tc;
+  simnet::Simulator sim{7};
+  simnet::Cluster cluster;
+  std::unique_ptr<simnet::Network> net;
+  std::unique_ptr<ConsensusService> service;
+
+  explicit Deployment(System sys, int groups = 2, int per_group = 3) {
+    tc.system = sys;
+    tc.groups = groups;
+    tc.per_group = per_group;
+    tc.client_machines = 0;
+    tc = fault_tuned_local(tc);
+    cluster = build_cluster(tc);
+    net = std::make_unique<simnet::Network>(sim, cluster.topo);
+    service = make_service(tc, cluster, *net);
+  }
+
+  // Local single-DC repair tuning without dragging in fault_scenario.h.
+  static TrialConfig fault_tuned_local(TrialConfig tc) {
+    tc.canopus.fetch_timeout = 100 * kMillisecond;
+    tc.epaxos.repair_retry = 25 * kMillisecond;
+    tc.zab.sync_retry = 25 * kMillisecond;
+    return tc;
+  }
+
+  void write_at(Time t, std::size_t node, std::uint64_t key,
+                std::uint64_t val) {
+    sim.at(t, [this, node, key, val] {
+      kv::Request r;
+      r.is_write = true;
+      r.key = key;
+      r.value = val;
+      r.arrival = sim.now();
+      service->submit(node, r);
+    });
+  }
+
+  bool all_agree() const {
+    bool first = true;
+    std::uint64_t fp = 0, count = 0;
+    for (std::size_t i = 0; i < service->num_servers(); ++i) {
+      if (!service->comparable(i)) continue;
+      if (first) {
+        fp = service->commit_fingerprint(i);
+        count = service->committed_writes(i);
+        first = false;
+      } else if (service->commit_fingerprint(i) != fp ||
+                 service->committed_writes(i) != count) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class ServiceTest : public ::testing::TestWithParam<System> {};
+
+TEST_P(ServiceTest, NameMatchesSystem) {
+  Deployment d(GetParam());
+  EXPECT_STREQ(d.service->name(), system_name(GetParam()));
+}
+
+TEST_P(ServiceTest, WritesCommitEverywhereAndDigestsAgree) {
+  Deployment d(GetParam());
+  d.write_at(5 * kMillisecond, 0, 1, 11);
+  d.write_at(6 * kMillisecond, 4, 2, 22);
+  d.sim.run_until(2 * kSecond);
+  for (std::size_t i = 0; i < d.service->num_servers(); ++i) {
+    EXPECT_EQ(d.service->committed_writes(i), 2u) << "node " << i;
+    EXPECT_EQ(d.service->store(i).read(1), 11u);
+    EXPECT_EQ(d.service->store(i).read(2), 22u);
+    EXPECT_GT(d.service->progress(i), 0u);
+  }
+  EXPECT_TRUE(d.all_agree());
+}
+
+TEST_P(ServiceTest, CrashBookkeepingAndComparability) {
+  Deployment d(GetParam());
+  EXPECT_TRUE(d.service->up(5));
+  EXPECT_TRUE(d.service->comparable(5));
+  d.service->crash(5);
+  EXPECT_FALSE(d.service->up(5));
+  EXPECT_TRUE(d.service->ever_crashed(5));
+  EXPECT_FALSE(d.service->comparable(5));
+}
+
+TEST_P(ServiceTest, SurvivorsCommitAfterOneCrash) {
+  Deployment d(GetParam());
+  d.sim.at(100 * kMillisecond, [&] { d.service->crash(5); });
+  d.write_at(1'500 * kMillisecond, 0, 3, 33);
+  d.sim.run_until(4 * kSecond);
+  for (std::size_t i = 0; i < d.service->num_servers(); ++i) {
+    if (!d.service->comparable(i)) continue;
+    EXPECT_EQ(d.service->store(i).read(3), 33u) << "node " << i;
+  }
+  EXPECT_TRUE(d.all_agree());
+}
+
+TEST_P(ServiceTest, RecoverSemanticsMatchTheSystem) {
+  Deployment d(GetParam());
+  d.service->crash(5);
+  const bool recovered = d.service->recover(5);
+  if (GetParam() == System::kCanopus) {
+    // No rejoin path: the node stays dark and out of the audit set.
+    EXPECT_FALSE(recovered);
+    EXPECT_FALSE(d.service->up(5));
+    EXPECT_FALSE(d.service->comparable(5));
+  } else {
+    EXPECT_TRUE(recovered);
+    EXPECT_TRUE(d.service->up(5));
+    EXPECT_TRUE(d.service->comparable(5));
+  }
+}
+
+TEST_P(ServiceTest, RecoveredNodeConvergesAfterMissingWrites) {
+  if (GetParam() == System::kCanopus) GTEST_SKIP() << "no rejoin path";
+  Deployment d(GetParam());
+  d.write_at(5 * kMillisecond, 0, 1, 11);
+  d.sim.at(500 * kMillisecond, [&] { d.service->crash(5); });
+  d.write_at(700 * kMillisecond, 0, 2, 22);  // missed by node 5
+  d.sim.at(1'500 * kMillisecond, [&] { d.service->recover(5); });
+  // Post-recovery traffic lets passive gap detection kick in where needed.
+  d.write_at(1'700 * kMillisecond, 1, 3, 33);
+  d.sim.run_until(5 * kSecond);
+  EXPECT_EQ(d.service->store(5).read(2), 22u);
+  EXPECT_EQ(d.service->store(5).read(3), 33u);
+  EXPECT_TRUE(d.all_agree());
+}
+
+TEST_P(ServiceTest, OnCommitHookFiresWithBatches) {
+  Deployment d(GetParam());
+  std::uint64_t hook_writes = 0;
+  d.service->on_commit = [&](std::size_t, std::uint64_t,
+                             const std::vector<kv::Request>& batch) {
+    for (const kv::Request& r : batch)
+      if (r.is_write) ++hook_writes;
+  };
+  d.write_at(5 * kMillisecond, 0, 1, 11);
+  d.sim.run_until(2 * kSecond);
+  // Every node reports its commit: groups*per_group nodes x 1 write.
+  EXPECT_EQ(hook_writes, d.service->num_servers());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ServiceTest,
+                         ::testing::Values(System::kCanopus, System::kRaft,
+                                           System::kZab, System::kEPaxos),
+                         [](const auto& info) {
+                           return std::string(system_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace canopus::workload
