@@ -1,0 +1,63 @@
+// Counting global allocation hook for the bench harness.
+//
+// Replaces the global allocation functions with counting forwards to
+// malloc/free, so BENCH_*.json can report the harness-lifetime allocation
+// count (the perf trajectory of the zero-allocation hot path, see DESIGN.md
+// §8). Replacement allocation functions must be non-inline and defined in
+// exactly ONE translation unit per binary — this header is included by
+// bench_util.h, which every bench's single main TU includes once.
+// (tests/simnet/allocation_test.cpp carries its own copy of the hook for
+// the same reason.)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace canopus::bench {
+
+inline std::atomic<std::uint64_t> g_heap_allocations{0};
+
+/// Monotonic count of global operator new calls in this binary.
+inline std::uint64_t heap_allocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+inline void* counted_alloc(std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+inline void* counted_alloc_nothrow(std::size_t n) noexcept {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+}  // namespace detail
+
+}  // namespace canopus::bench
+
+void* operator new(std::size_t n) {
+  return canopus::bench::detail::counted_alloc(n);
+}
+void* operator new[](std::size_t n) {
+  return canopus::bench::detail::counted_alloc(n);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return canopus::bench::detail::counted_alloc_nothrow(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return canopus::bench::detail::counted_alloc_nothrow(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

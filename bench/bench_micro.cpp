@@ -24,7 +24,10 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   Time t = 0;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) q.schedule(t + (i * 37) % 1000, [] {});
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop().second);
+    while (!q.empty()) {
+      auto ev = q.pop();
+      benchmark::DoNotOptimize(ev);
+    }
     t += 1000;
   }
 }
@@ -42,7 +45,8 @@ void BM_EventQueueArmCancelChurn(benchmark::State& state) {
       q.cancel(id);
     }
     q.schedule(t, [] {});
-    benchmark::DoNotOptimize(q.pop().second);
+    auto ev = q.pop();
+    benchmark::DoNotOptimize(ev);
     t += 10;
   }
 }

@@ -12,6 +12,10 @@
 //     "mode": "quick" | "full",
 //     "threads": N,
 //     "wall_clock_seconds": S,
+//     "events_processed": E,      // simulator events fired, all trials
+//     "events_per_second": E/S,   // the substrate perf trajectory
+//     "heap_allocations": A,      // global operator-new count (alloc_count.h)
+//     "allocs_per_event": A/E,    // ~0 when the hot path stays allocation-free
 //     "scalars": { <figure-level numbers, e.g. shape checks> },
 //     "series": [ { "name": ..., "attrs": {<strings>},
 //                   "scalars": {<numbers>},
@@ -28,6 +32,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "alloc_count.h"
 #include "workload/deployments.h"
 #include "workload/runner.h"
 #include "workload/trial_pool.h"
@@ -101,7 +107,9 @@ class Harness {
         json_path_(arg_value(argc, argv, "--json=", "BENCH_" + figure_ + ".json")),
         full_(has_flag(argc, argv, "--full")),
         pool_(parse_threads(argc, argv)),
-        start_(std::chrono::steady_clock::now()) {
+        start_(std::chrono::steady_clock::now()),
+        events_at_start_(simnet::Simulator::global_events()),
+        allocs_at_start_(heap_allocations()) {
     print_header(title_.c_str(), ref_.c_str());
     std::printf("mode: %s   trial threads: %u\n", full_ ? "full" : "quick",
                 pool_.threads());
@@ -128,19 +136,27 @@ class Harness {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
+    const std::uint64_t events =
+        simnet::Simulator::global_events() - events_at_start_;
+    const std::uint64_t allocs = heap_allocations() - allocs_at_start_;
     std::FILE* f = std::fopen(json_path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path_.c_str());
       return 1;
     }
-    write_json(f, wall);
+    write_json(f, wall, events, allocs);
     const bool write_failed = std::ferror(f) != 0;
     if (std::fclose(f) != 0 || write_failed) {
       std::fprintf(stderr, "error: failed writing %s\n", json_path_.c_str());
       return 1;
     }
-    std::printf("\nwall clock: %.1f s   results: %s\n", wall,
-                json_path_.c_str());
+    std::printf(
+        "\nwall clock: %.1f s   %.1f M events/s   %.3f allocs/event   "
+        "results: %s\n",
+        wall, wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0,
+        events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                   : 0.0,
+        json_path_.c_str());
     return 0;
   }
 
@@ -208,7 +224,8 @@ class Harness {
     std::fputc('}', f);
   }
 
-  void write_json(std::FILE* f, double wall) const {
+  void write_json(std::FILE* f, double wall, std::uint64_t events,
+                  std::uint64_t allocs) const {
     const auto num = [](std::FILE* out, double v) {
       std::fprintf(out, "%.17g", v);
     };
@@ -224,6 +241,16 @@ class Harness {
     std::fprintf(f, ",\"mode\":\"%s\",\"threads\":%u",
                  full_ ? "full" : "quick", pool_.threads());
     std::fprintf(f, ",\"wall_clock_seconds\":%.3f", wall);
+    std::fprintf(f, ",\"events_processed\":%llu",
+                 static_cast<unsigned long long>(events));
+    std::fprintf(f, ",\"events_per_second\":%.17g",
+                 wall > 0 ? static_cast<double>(events) / wall : 0.0);
+    std::fprintf(f, ",\"heap_allocations\":%llu",
+                 static_cast<unsigned long long>(allocs));
+    std::fprintf(f, ",\"allocs_per_event\":%.17g",
+                 events > 0 ? static_cast<double>(allocs) /
+                                  static_cast<double>(events)
+                            : 0.0);
     std::fputs(",\"scalars\":", f);
     json_object(f, scalars_, num);
     std::fputs(",\"series\":[", f);
@@ -263,6 +290,8 @@ class Harness {
   bool full_;
   workload::TrialPool pool_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t events_at_start_;
+  std::uint64_t allocs_at_start_;
   std::deque<SeriesResult> series_;  ///< deque: add_series references stay
                                      ///< valid across later add_series calls
   std::vector<std::pair<std::string, double>> scalars_;

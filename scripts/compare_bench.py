@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro run against a committed baseline.
+
+Usage: compare_bench.py CURRENT.json BASELINE.json [--threshold=0.20]
+
+Both files are google-benchmark JSON (bench_micro's output). Benchmarks are
+matched by name and compared on real_time; a WARNING line is printed for
+every benchmark whose time regressed by more than the threshold (default
+20%), and an improvement note for ones that got faster by the same margin.
+
+The exit code is always 0: CI runners differ wildly from the machine that
+produced the committed baseline, so regressions here are a prompt for a
+human look (and a baseline refresh in the same PR that knowingly changes
+performance), not a gate.
+"""
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "benchmarks" not in doc:
+        print(f"{path}: not google-benchmark JSON", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc["benchmarks"]:
+        # Aggregate reports (mean/median/stddev) share the base name; prefer
+        # the plain entry, which is what bench_micro emits by default.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current, baseline = load(args[0]), load(args[1])
+
+    regressions = 0
+    for name, (base_time, unit) in sorted(baseline.items()):
+        if name not in current:
+            print(f"note: {name}: missing from current run")
+            continue
+        cur_time, cur_unit = current[name]
+        if cur_unit != unit:
+            print(f"note: {name}: time_unit changed {unit} -> {cur_unit}")
+            continue
+        if base_time <= 0:
+            continue
+        ratio = cur_time / base_time
+        if ratio > 1.0 + threshold:
+            regressions += 1
+            print(f"WARNING: {name}: {base_time:.0f} -> {cur_time:.0f} {unit} "
+                  f"({ratio:.2f}x slower than baseline)")
+        elif ratio < 1.0 - threshold:
+            print(f"improved: {name}: {base_time:.0f} -> {cur_time:.0f} {unit} "
+                  f"({1 / ratio:.2f}x faster than baseline)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name}: new benchmark (no baseline)")
+
+    if regressions == 0:
+        print(f"compare_bench: no regressions beyond {threshold:.0%}")
+    else:
+        print(f"compare_bench: {regressions} benchmark(s) regressed beyond "
+              f"{threshold:.0%} — investigate, or refresh the baseline if "
+              "the change is intended")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

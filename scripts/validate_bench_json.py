@@ -43,6 +43,10 @@ def check_figure(path, doc):
     for key, typ in [("schema", str), ("figure", str), ("title", str),
                      ("paper_ref", str), ("mode", str), ("threads", int),
                      ("wall_clock_seconds", (int, float)),
+                     ("events_processed", int),
+                     ("events_per_second", (int, float)),
+                     ("heap_allocations", int),
+                     ("allocs_per_event", (int, float)),
                      ("scalars", dict), ("series", list)]:
         if key not in doc:
             fail(path, f"missing top-level key '{key}'")
@@ -54,6 +58,8 @@ def check_figure(path, doc):
         fail(path, f"unknown mode '{doc['mode']}'")
     if doc["threads"] < 1:
         fail(path, "threads < 1")
+    if doc["events_processed"] < 0 or doc["heap_allocations"] < 0:
+        fail(path, "negative perf counter")
     for name, value in doc["scalars"].items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             fail(path, f"figure scalar '{name}' is not a number")

@@ -8,6 +8,8 @@
 namespace canopus::lot {
 
 namespace {
+constexpr std::size_t kUnknownSlot = static_cast<std::size_t>(-1);
+
 // pnode -> dense slot lookup shared by Lot and EmulationTable.
 std::unordered_map<NodeId, std::size_t> build_slots(
     const std::vector<std::vector<NodeId>>& super_leaves) {
@@ -38,7 +40,14 @@ Lot Lot::build(const LotConfig& cfg) {
   t.pnode_count_ = slots.size();
   t.leaf_vnode_by_pnode_.resize(t.pnode_count_);
   t.sl_by_pnode_.resize(t.pnode_count_);
-  t.pnode_index_.resize(t.pnode_count_);
+
+  // Dense pnode -> slot table: node ids are topology indices, so the table
+  // is at most the deployment size. Built once here; every per-message
+  // lookup (leaf_of, ancestor, EmulationTable::slot) is then O(1).
+  NodeId max_pnode = 0;
+  for (const auto& [p, s] : slots) max_pnode = std::max(max_pnode, p);
+  t.slot_by_pnode_.assign(std::size_t{max_pnode} + 1, kUnknownSlot);
+  for (const auto& [p, s] : slots) t.slot_by_pnode_[p] = s;
 
   // Leaves first: one vnode per pnode.
   for (std::size_t sl = 0; sl < cfg.super_leaves.size(); ++sl) {
@@ -52,7 +61,6 @@ Lot Lot::build(const LotConfig& cfg) {
       const std::size_t slot = slots.at(p);
       t.leaf_vnode_by_pnode_[slot] = v;
       t.sl_by_pnode_[slot] = static_cast<int>(sl);
-      t.pnode_index_[slot] = p;
     }
   }
 
@@ -112,9 +120,9 @@ Lot Lot::build(const LotConfig& cfg) {
 }
 
 std::size_t Lot::pnode_slot(NodeId pnode) const {
-  for (std::size_t i = 0; i < pnode_index_.size(); ++i)
-    if (pnode_index_[i] == pnode) return i;
-  throw std::out_of_range("unknown pnode");
+  if (pnode >= slot_by_pnode_.size() || slot_by_pnode_[pnode] == kUnknownSlot)
+    throw std::out_of_range("unknown pnode");
+  return slot_by_pnode_[pnode];
 }
 
 VnodeId Lot::leaf_of(NodeId pnode) const {
@@ -156,31 +164,31 @@ std::string Lot::name(VnodeId v) const {
 EmulationTable::EmulationTable(const Lot& lot)
     : lot_(&lot),
       live_(lot.num_pnodes(), true),
-      live_count_(lot.num_pnodes()) {}
-
-std::size_t EmulationTable::slot(NodeId pnode) const {
-  // Delegate to the Lot's slot mapping through leaf_of (throws on unknown).
-  const VnodeId leaf = lot_->leaf_of(pnode);
-  // Leaves were created in slot order, so the leaf vnode's position among
-  // leaves equals the slot. Leaves occupy vnodes [0, num_pnodes) but not in
-  // slot order per super-leaf flattening — recover via linear scan like
-  // Lot::pnode_slot. Cheap at deployment sizes (<= hundreds of nodes).
-  (void)leaf;
-  for (std::size_t sl = 0, idx = 0; sl < lot_->num_super_leaves(); ++sl)
-    for (NodeId p : lot_->super_leaf_members(static_cast<int>(sl))) {
-      if (p == pnode) return idx;
-      ++idx;
-    }
-  throw std::out_of_range("unknown pnode");
+      live_count_(lot.num_pnodes()),
+      // Everyone starts live, so the caches are simply the static columns.
+      emulators_valid_(lot.num_vnodes(), true),
+      members_valid_(lot.num_super_leaves(), true) {
+  emulators_cache_.reserve(lot.num_vnodes());
+  for (VnodeId v = 0; v < lot.num_vnodes(); ++v)
+    emulators_cache_.push_back(lot.descendants(v));
+  members_cache_.reserve(lot.num_super_leaves());
+  for (std::size_t sl = 0; sl < lot.num_super_leaves(); ++sl)
+    members_cache_.push_back(lot.super_leaf_members(static_cast<int>(sl)));
 }
 
 bool EmulationTable::is_live(NodeId pnode) const { return live_[slot(pnode)]; }
+
+void EmulationTable::invalidate_caches() {
+  emulators_valid_.assign(emulators_valid_.size(), false);
+  members_valid_.assign(members_valid_.size(), false);
+}
 
 void EmulationTable::remove(NodeId pnode) {
   const std::size_t s = slot(pnode);
   if (live_[s]) {
     live_[s] = false;
     --live_count_;
+    invalidate_caches();
   }
 }
 
@@ -189,20 +197,30 @@ void EmulationTable::add(NodeId pnode) {
   if (!live_[s]) {
     live_[s] = true;
     ++live_count_;
+    invalidate_caches();
   }
 }
 
-std::vector<NodeId> EmulationTable::emulators(VnodeId v) const {
-  std::vector<NodeId> out;
-  for (NodeId p : lot_->descendants(v))
-    if (live_[slot(p)]) out.push_back(p);
+const std::vector<NodeId>& EmulationTable::emulators(VnodeId v) const {
+  std::vector<NodeId>& out = emulators_cache_[v];
+  if (!emulators_valid_[v]) {
+    out.clear();
+    for (NodeId p : lot_->descendants(v))
+      if (live_[slot(p)]) out.push_back(p);
+    emulators_valid_[v] = true;
+  }
   return out;
 }
 
-std::vector<NodeId> EmulationTable::live_members(int sl) const {
-  std::vector<NodeId> out;
-  for (NodeId p : lot_->super_leaf_members(sl))
-    if (live_[slot(p)]) out.push_back(p);
+const std::vector<NodeId>& EmulationTable::live_members(int sl) const {
+  const auto i = static_cast<std::size_t>(sl);
+  std::vector<NodeId>& out = members_cache_[i];
+  if (!members_valid_[i]) {
+    out.clear();
+    for (NodeId p : lot_->super_leaf_members(sl))
+      if (live_[slot(p)]) out.push_back(p);
+    members_valid_[i] = true;
+  }
   return out;
 }
 

@@ -67,6 +67,11 @@ class Lot {
 
   int super_leaf_of(NodeId pnode) const;
   std::size_t num_super_leaves() const { return super_leaves_.size(); }
+
+  /// Dense slot of a pnode (super-leaf flattening order): the index shared
+  /// by every per-pnode table, including EmulationTable's liveness bits.
+  /// O(1) via a table built once in build(); throws on unknown pnodes.
+  std::size_t pnode_slot(NodeId pnode) const;
   const std::vector<NodeId>& super_leaf_members(int sl) const {
     return super_leaves_[static_cast<std::size_t>(sl)];
   }
@@ -92,8 +97,7 @@ class Lot {
   std::vector<VnodeId> sl_vnode_;
   std::vector<VnodeId> leaf_vnode_by_pnode_;  // dense by pnode position
   std::vector<int> sl_by_pnode_;
-  std::vector<NodeId> pnode_index_;  // pnode -> dense index
-  std::size_t pnode_slot(NodeId pnode) const;
+  std::vector<std::size_t> slot_by_pnode_;  // pnode id -> slot, O(1) lookup
 };
 
 /// Mutable liveness view over a Lot: which pnodes currently emulate each
@@ -104,23 +108,33 @@ class EmulationTable {
  public:
   explicit EmulationTable(const Lot& lot);
 
-  /// Live descendant pnodes of v, in pnode order.
-  std::vector<NodeId> emulators(VnodeId v) const;
+  /// Live descendant pnodes of v, in pnode order. Served from a per-vnode
+  /// cached list that is invalidated only by add()/remove(), so the common
+  /// no-failure case is a vector indexing with zero allocations — this
+  /// sits on the per-message fetch path (canopus/node.cpp issue_fetch).
+  const std::vector<NodeId>& emulators(VnodeId v) const;
 
   bool is_live(NodeId pnode) const;
   void remove(NodeId pnode);
   void add(NodeId pnode);
 
-  /// Live members of a super-leaf, in pnode order.
-  std::vector<NodeId> live_members(int sl) const;
+  /// Live members of a super-leaf, in pnode order. Cached like emulators().
+  const std::vector<NodeId>& live_members(int sl) const;
 
   std::size_t live_count() const { return live_count_; }
 
  private:
+  std::size_t slot(NodeId pnode) const { return lot_->pnode_slot(pnode); }
+  void invalidate_caches();
+
   const Lot* lot_;
   std::vector<bool> live_;  // dense by pnode slot
   std::size_t live_count_ = 0;
-  std::size_t slot(NodeId pnode) const;
+  // Lazily rebuilt caches; a liveness change (rare) flips the valid bits.
+  mutable std::vector<std::vector<NodeId>> emulators_cache_;   // by vnode
+  mutable std::vector<bool> emulators_valid_;
+  mutable std::vector<std::vector<NodeId>> members_cache_;     // by super-leaf
+  mutable std::vector<bool> members_valid_;
 };
 
 }  // namespace canopus::lot

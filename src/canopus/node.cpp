@@ -461,7 +461,7 @@ void CanopusNode::issue_fetch(CycleId c, VnodeId v) {
   CycleState& cs = cycle(c);
   FetchState& fs = cs.fetches[v];
 
-  const auto emulators = emu_.emulators(v);
+  const auto& emulators = emu_.emulators(v);
   if (!emulators.empty()) {
     // Spread across emulators deterministically; retries walk the list.
     const std::size_t pick =

@@ -1,44 +1,10 @@
+// Cold paths of the event queue; the per-event schedule/fire hot pair is
+// inline in event_queue.h.
 #include "simnet/event_queue.h"
 
-#include <algorithm>
-#include <cassert>
+#include <utility>
 
 namespace canopus::simnet {
-
-namespace {
-// An EventId packs {generation, slot+1}; slot+1 keeps every valid id nonzero
-// so kInvalidEvent (0) can never name a slot.
-constexpr EventId pack(std::uint32_t gen, std::uint32_t slot) {
-  return (static_cast<EventId>(gen) << 32) | (slot + 1);
-}
-}  // namespace
-
-EventId EventQueue::schedule(Time t, std::function<void()> fn) {
-  std::uint32_t slot;
-  if (free_.empty()) {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  } else {
-    slot = free_.back();
-    free_.pop_back();
-  }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.seq = next_seq_++;
-  heap_.push_back(Entry{t, s.seq, slot});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
-  return pack(s.gen, slot);
-}
-
-void EventQueue::disarm(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn = nullptr;  // release the closure now, not at compaction
-  s.seq = 0;
-  ++s.gen;
-  free_.push_back(slot);
-  --live_;
-}
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEvent) return;
@@ -58,28 +24,29 @@ void EventQueue::compact() {
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && !entry_live(heap_.front())) {
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!empty());
+  Fired result;
+  const bool from_closure_heap =
+      !heap_.empty() &&
+      (msg_heap_.empty() || closure_first(heap_.front(), msg_heap_.front()));
+  if (from_closure_heap) {
+    const Entry top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    result.time = top.time;
+    result.is_message = false;
+    result.fn = std::move(slots_[top.slot].fn);
+    disarm(top.slot);
+  } else {
+    std::pop_heap(msg_heap_.begin(), msg_heap_.end(), MsgLater{});
+    MsgEntry entry = std::move(msg_heap_.back());
+    msg_heap_.pop_back();
+    result.time = entry.time;
+    result.is_message = true;
+    result.msg = std::move(entry.ev);
   }
-}
-
-Time EventQueue::next_time() {
-  skip_cancelled();
-  assert(!heap_.empty());
-  return heap_.front().time;
-}
-
-std::pair<Time, std::function<void()>> EventQueue::pop() {
-  skip_cancelled();
-  assert(!heap_.empty());
-  const Entry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
-  std::pair<Time, std::function<void()>> result{top.time,
-                                                std::move(slots_[top.slot].fn)};
-  disarm(top.slot);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "simnet/fault_schedule.h"
 
+#include <memory>
+
 namespace canopus::simnet {
 
 const char* fault_kind_name(FaultEvent::Kind k) {
@@ -22,13 +24,19 @@ void FaultSchedule::apply(Network& net, const FaultEvent& ev) {
 }
 
 void FaultSchedule::arm(Network& net, ApplyFn hook) const {
+  // One shared copy of the (potentially capture-heavy) hook keeps each
+  // per-event closure small enough for the simulator's inline storage.
+  auto shared_hook =
+      hook ? std::make_shared<const ApplyFn>(std::move(hook)) : nullptr;
   for (const FaultEvent& ev : events_) {
-    net.sim().at(ev.at, [&net, ev, hook] {
-      if (hook)
-        hook(net, ev);
+    auto fire = [&net, ev, shared_hook] {
+      if (shared_hook)
+        (*shared_hook)(net, ev);
       else
         apply(net, ev);
-    });
+    };
+    static_assert(InlineFn::fits_inline<decltype(fire)>);
+    net.sim().at(ev.at, std::move(fire));
   }
 }
 

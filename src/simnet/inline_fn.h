@@ -1,0 +1,115 @@
+// InlineFn: a move-only callable with 64 bytes of inline storage.
+//
+// The simulator fires millions of timer closures per trial; std::function
+// heap-allocates any capture over its small-buffer size (~16 bytes) and
+// requires copyable captures. InlineFn stores captures up to
+// kInlineCapacity bytes in place — no allocation on the timer path — and
+// accepts move-only captures. Larger callables fall back to one heap
+// allocation; simnet's own closures are statically asserted to fit inline
+// at their call sites (network.cpp, fault_schedule.cpp), so growing a
+// capture past the budget is a compile error there, not a silent perf
+// regression.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace canopus::simnet {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  /// True when F is stored in place: small enough, not over-aligned, and
+  /// nothrow-movable (moving an InlineFn relocates the inline object).
+  template <class F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineCapacity &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {  // relocate src -> uninitialized dst
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        } else {  // destroy dst
+          static_cast<Fn*>(dst)->~Fn();
+        }
+      };
+    } else {  // heap fallback: the storage holds a single Fn*
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s) { (**static_cast<Fn**>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {  // relocating moves the pointer, not the Fn
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        } else {
+          delete *static_cast<Fn**>(dst);
+        }
+      };
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { take(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroys the held callable (if any); *this becomes empty.
+  void reset() {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  // manage_(dst, src): src != nullptr relocates src into uninitialized dst
+  // (src is left destroyed/abandoned); src == nullptr destroys dst.
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(void* dst, void* src);
+
+  void take(InlineFn& other) {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace canopus::simnet

@@ -21,7 +21,8 @@ Network::Network(Simulator& sim, Topology topo, CpuModel cpu)
       cpu_free_(topo_.num_nodes(), 0),
       link_bytes_(topo_.num_links(), 0),
       cpu_backlog_(topo_.num_nodes(), 0),
-      link_backlog_(topo_.num_links(), 0) {}
+      link_backlog_(topo_.num_links(), 0),
+      link_memo_(topo_.num_links()) {}
 
 void Network::attach(NodeId id, Process& proc) {
   assert(id < procs_.size());
@@ -29,12 +30,29 @@ void Network::attach(NodeId id, Process& proc) {
   proc.sim_ = &sim_;
   proc.net_ = this;
   proc.id_ = id;
-  sim_.after(0, [&proc] { proc.on_start(); });
+  auto start = [&proc] { proc.on_start(); };
+  static_assert(InlineFn::fits_inline<decltype(start)>);
+  sim_.after(0, std::move(start));
+}
+
+void Network::on_message_event(MessageEvent&& ev) {
+  switch (ev.kind) {
+    case MessageEvent::Kind::kHop:
+      hop_arrival(std::move(ev.msg), ev.hop);
+      break;
+    case MessageEvent::Kind::kDeliver:
+      deliver(std::move(ev.msg), sim_.now());
+      break;
+    case MessageEvent::Kind::kDispatch:
+      dispatch(std::move(ev.msg));
+      break;
+  }
 }
 
 void Network::send(Message m) {
   const NodeId src = m.src();
   const NodeId dst = m.dst();
+  // Attach-time invariant; debug-only so the release hot path pays nothing.
   assert(src < procs_.size() && dst < procs_.size());
 
   if (!up_[src]) return;  // a crashed node sends nothing
@@ -42,18 +60,19 @@ void Network::send(Message m) {
     send_local(std::move(m));
     return;
   }
-  if (severed_.contains(pair_key(src, dst))) {
+  // Fast path: with no severed pairs (the overwhelmingly common case) skip
+  // the hash probe entirely.
+  if (!severed_.empty() && severed_.contains(pair_key(src, dst))) {
     ++stats_.dropped;
     return;
   }
 
   const Time now = sim_.now();
-  const auto bytes = static_cast<double>(m.wire_bytes());
 
   // Sender CPU: serialize + syscall cost, serialized per node.
   cpu_backlog_[src] = std::max(cpu_backlog_[src], cpu_free_[src] - now);
   const Time t = std::max(now, cpu_free_[src]) + cpu_.send_fixed +
-                 static_cast<Time>(std::llround(bytes * cpu_.ns_per_byte));
+                 cpu_byte_cost(m.wire_bytes());
   cpu_free_[src] = t;
 
   ++stats_.messages;
@@ -64,40 +83,35 @@ void Network::send(Message m) {
   // WAN message — which reaches the destination's down-link only ~66 ms
   // from now — would block intra-DC messages that physically arrive there
   // first.)
-  sim_.at(t, [this, m = std::move(m), hop = std::size_t{0}]() mutable {
-    hop_arrival(std::move(m), hop);
-  });
+  sim_.at_message(t, make_event(std::move(m), MessageEvent::Kind::kHop, 0));
 }
 
-void Network::hop_arrival(Message m, std::size_t hop) {
+void Network::hop_arrival(Message&& m, std::size_t hop) {
   const auto& path = topo_.path(m.src(), m.dst());
   if (hop >= path.size()) {
     deliver(std::move(m), sim_.now());
     return;
   }
   const LinkId l = path[hop];
-  const LinkSpec& spec = topo_.link(l);
   const Time now = sim_.now();
   link_backlog_[l] = std::max(link_backlog_[l], link_free_[l] - now);
   const Time start = std::max(now, link_free_[l]);
-  const Time serialize = static_cast<Time>(std::llround(
-      static_cast<double>(m.wire_bytes()) / spec.bytes_per_ns));
+  const Time serialize = link_serialize(l, m.wire_bytes());
   link_free_[l] = start + serialize;
   link_bytes_[l] += m.wire_bytes();
-  const Time next = start + serialize + spec.latency;
-  sim_.at(next, [this, m = std::move(m), hop]() mutable {
-    hop_arrival(std::move(m), hop + 1);
-  });
+  const Time next = start + serialize + topo_.link(l).latency;
+  sim_.at_message(next,
+                  make_event(std::move(m), MessageEvent::Kind::kHop, hop + 1));
 }
 
 void Network::send_local(Message m) {
   if (!up_[m.src()]) return;
   const Time t = std::max(sim_.now(), cpu_free_[m.src()]) + cpu_.send_fixed;
   cpu_free_[m.src()] = t;
-  sim_.at(t, [this, m = std::move(m), t] { deliver(m, t); });
+  sim_.at_message(t, make_event(std::move(m), MessageEvent::Kind::kDeliver));
 }
 
-void Network::deliver(Message m, Time arrival) {
+void Network::deliver(Message&& m, Time arrival) {
   const NodeId dst = m.dst();
   if (!up_[dst] || procs_[dst] == nullptr) {
     ++stats_.dropped;
@@ -106,19 +120,20 @@ void Network::deliver(Message m, Time arrival) {
   // Receiver CPU: deserialization + handler dispatch, serialized per node.
   cpu_backlog_[dst] =
       std::max(cpu_backlog_[dst], cpu_free_[dst] - arrival);
-  const Time ready =
-      std::max(arrival, cpu_free_[dst]) + cpu_.recv_fixed +
-      static_cast<Time>(
-          std::llround(static_cast<double>(m.wire_bytes()) * cpu_.ns_per_byte));
+  const Time ready = std::max(arrival, cpu_free_[dst]) + cpu_.recv_fixed +
+                     cpu_byte_cost(m.wire_bytes());
   cpu_free_[dst] = ready;
-  sim_.at(ready, [this, m = std::move(m)] {
-    if (!up_[m.dst()]) {
-      ++stats_.dropped;
-      return;
-    }
-    if (trace_) trace_(sim_.now(), m);
-    procs_[m.dst()]->on_message(m);
-  });
+  sim_.at_message(ready,
+                  make_event(std::move(m), MessageEvent::Kind::kDispatch));
+}
+
+void Network::dispatch(Message&& m) {
+  if (!up_[m.dst()]) {
+    ++stats_.dropped;
+    return;
+  }
+  if (trace_) trace_(sim_.now(), m);
+  procs_[m.dst()]->on_message(m);
 }
 
 void Network::crash(NodeId n) { up_[n] = false; }

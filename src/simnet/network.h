@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <unordered_set>
@@ -46,7 +47,7 @@ struct NetworkStats {
   std::uint64_t dropped = 0;
 };
 
-class Network {
+class Network : public MessageEventTarget {
  public:
   Network(Simulator& sim, Topology topo, CpuModel cpu = {});
 
@@ -100,8 +101,31 @@ class Network {
   Simulator& sim() { return sim_; }
 
  private:
-  void hop_arrival(Message m, std::size_t hop);
-  void deliver(Message m, Time arrival);
+  /// Every per-message step (hop arrival, local delivery, receiver-CPU-done
+  /// dispatch) is scheduled as a typed MessageEvent — plain pooled data in
+  /// the event queue — instead of a closure, so the steady-state message
+  /// path performs zero heap allocations (see DESIGN.md §8).
+  void on_message_event(MessageEvent&& ev) override;
+  MessageEvent make_event(Message&& m, MessageEvent::Kind kind,
+                          std::size_t hop = 0) {
+    return MessageEvent{this, std::move(m), kind,
+                        static_cast<std::uint32_t>(hop)};
+  }
+
+  void hop_arrival(Message&& m, std::size_t hop);
+  void deliver(Message&& m, Time arrival);
+  void dispatch(Message&& m);
+
+  /// Memo of the last (bytes -> cost) computation for a link's serializer /
+  /// the CPU per-byte charge. Message sizes repeat heavily (fixed-size RPCs,
+  /// same-batch broadcasts), and FP division is the single most expensive
+  /// instruction on the hop path. Keyed on the exact byte count, so a hit
+  /// returns the exact llround result the cold path would produce —
+  /// bit-identical simulation, ~2x fewer FP ops per delivery.
+  struct CostMemo {
+    std::size_t bytes = static_cast<std::size_t>(-1);
+    Time cost = 0;
+  };
 
   Simulator& sim_;
   Topology topo_;
@@ -114,8 +138,29 @@ class Network {
   std::vector<Time> cpu_backlog_;
   std::vector<Time> link_backlog_;
   std::unordered_set<std::uint64_t> severed_;
+  std::vector<CostMemo> link_memo_;  ///< per link: last serialize time
+  CostMemo cpu_byte_memo_;           ///< last per-byte CPU charge
   NetworkStats stats_;
   TraceFn trace_;
+
+  Time link_serialize(LinkId l, std::size_t bytes) {
+    CostMemo& memo = link_memo_[l];
+    if (memo.bytes != bytes) {
+      memo.bytes = bytes;
+      memo.cost = static_cast<Time>(
+          std::llround(static_cast<double>(bytes) / topo_.link(l).bytes_per_ns));
+    }
+    return memo.cost;
+  }
+
+  Time cpu_byte_cost(std::size_t bytes) {
+    if (cpu_byte_memo_.bytes != bytes) {
+      cpu_byte_memo_.bytes = bytes;
+      cpu_byte_memo_.cost = static_cast<Time>(
+          std::llround(static_cast<double>(bytes) * cpu_.ns_per_byte));
+    }
+    return cpu_byte_memo_.cost;
+  }
 };
 
 /// Base class for all protocol actors (consensus nodes, clients, switches'
@@ -142,7 +187,7 @@ class Process {
     net_->send(Message(id_, dst, wire_bytes, std::move(payload)));
   }
 
-  EventId after(Time delay, std::function<void()> fn) {
+  EventId after(Time delay, InlineFn fn) {
     return sim_->after(delay, std::move(fn));
   }
 

@@ -2,28 +2,28 @@
 
 namespace canopus::simnet {
 
+std::atomic<std::uint64_t> Simulator::global_events_{0};
+
 std::uint64_t Simulator::run() {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
-    auto [t, fn] = queue_.pop();
-    now_ = t;
-    fn();
+    queue_.fire_next(now_);
     ++n;
   }
   events_ += n;
+  global_events_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto [t, fn] = queue_.pop();
-    now_ = t;
-    fn();
+    queue_.fire_next(now_);
     ++n;
   }
   now_ = deadline;
   events_ += n;
+  global_events_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
 

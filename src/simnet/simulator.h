@@ -3,10 +3,15 @@
 // Single-threaded and fully deterministic: a run is a pure function of the
 // seed and the registered processes. Protocol code never reads wall-clock
 // time or global randomness.
+//
+// Two scheduling currencies (see event_queue.h): closures via at()/after()
+// for timers, and typed MessageEvents via at_message() for the network's
+// per-message pipeline — the latter is plain pooled data, so the message
+// hot path schedules without allocating.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <functional>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -24,12 +29,18 @@ class Simulator {
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  EventId at(Time abs_time, std::function<void()> fn) {
+  EventId at(Time abs_time, InlineFn fn) {
     return queue_.schedule(abs_time < now_ ? now_ : abs_time, std::move(fn));
   }
 
-  EventId after(Time delay, std::function<void()> fn) {
+  EventId after(Time delay, InlineFn fn) {
     return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules a typed message event (same clamping and FIFO-tie ordering
+  /// as at()). Message events are not cancellable — see EventQueue.
+  void at_message(Time abs_time, MessageEvent&& ev) {
+    queue_.schedule_message(abs_time < now_ ? now_ : abs_time, std::move(ev));
   }
 
   void cancel(EventId id) { queue_.cancel(id); }
@@ -44,11 +55,20 @@ class Simulator {
   std::uint64_t events_processed() const { return events_; }
   bool idle() const { return queue_.empty(); }
 
+  /// Process-wide count of events processed by every Simulator instance
+  /// (all threads). The bench harness derives events/second from deltas of
+  /// this counter; it is updated once per run()/run_until() call, not per
+  /// event, so it costs nothing on the hot path.
+  static std::uint64_t global_events() {
+    return global_events_.load(std::memory_order_relaxed);
+  }
+
  private:
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
   std::uint64_t events_ = 0;
+  static std::atomic<std::uint64_t> global_events_;
 };
 
 }  // namespace canopus::simnet

@@ -63,6 +63,10 @@ TEST(Harness, ParsesFlagsAndEmitsSchemaV1Json) {
   EXPECT_NE(json.find("\"mode\":\"full\""), std::string::npos);
   EXPECT_NE(json.find("\"threads\":3"), std::string::npos);
   EXPECT_NE(json.find("\"wall_clock_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"events_processed\":"), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_second\":"), std::string::npos);
+  EXPECT_NE(json.find("\"heap_allocations\":"), std::string::npos);
+  EXPECT_NE(json.find("\"allocs_per_event\":"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"series one\\n\""), std::string::npos);
   EXPECT_NE(json.find("\"system\":\"Canopus\""), std::string::npos);
   EXPECT_NE(json.find("\"nodes\":9"), std::string::npos);

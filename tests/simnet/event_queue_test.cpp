@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace canopus::simnet {
@@ -14,7 +17,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.schedule(30, [&] { order.push_back(3); });
   q.schedule(10, [&] { order.push_back(1); });
   q.schedule(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fire();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -22,7 +25,7 @@ TEST(EventQueue, EqualTimesFireInScheduleOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fire();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
@@ -33,7 +36,7 @@ TEST(EventQueue, CancelPreventsExecution) {
   q.schedule(20, [] {});
   q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fire();
   EXPECT_FALSE(fired);
 }
 
@@ -56,8 +59,9 @@ TEST(EventQueue, CancelledHeadIsSkippedByNextTime) {
 TEST(EventQueue, PopReturnsTime) {
   EventQueue q;
   q.schedule(42, [] {});
-  auto [t, fn] = q.pop();
-  EXPECT_EQ(t, 42);
+  auto ev = q.pop();
+  EXPECT_EQ(ev.time, 42);
+  EXPECT_FALSE(ev.is_message);
   EXPECT_TRUE(q.empty());
 }
 
@@ -98,19 +102,19 @@ TEST(EventQueue, CancelledIdDoesNotAffectSlotReuse) {
   q.schedule(20, [&] { fired = true; });  // reuses the slot
   q.cancel(old_id);                       // stale id: must be a no-op
   EXPECT_EQ(q.size(), 1u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fire();
   EXPECT_TRUE(fired);
 }
 
 TEST(EventQueue, PoppedIdCannotCancelSlotSuccessor) {
   EventQueue q;
   EventId first = q.schedule(10, [] {});
-  q.pop().second();
+  q.pop().fire();
   bool fired = false;
   q.schedule(20, [&] { fired = true; });
   q.cancel(first);  // already fired; its slot now belongs to the new event
   EXPECT_EQ(q.size(), 1u);
-  q.pop().second();
+  q.pop().fire();
   EXPECT_TRUE(fired);
 }
 
@@ -141,7 +145,7 @@ TEST(EventQueue, ChurnPreservesDeterministicOrder) {
     const Time t = q.next_time();
     EXPECT_GE(t, prev_time);
     prev_time = t;
-    q.pop().second();
+    q.pop().fire();
   }
   // Survivors at equal times must have fired in ascending schedule order.
   // Replay: group labels by time and check each group is sorted.
@@ -153,6 +157,98 @@ TEST(EventQueue, ChurnPreservesDeterministicOrder) {
       EXPECT_LT(order[i - 1], order[i]);
     }
   }
+}
+
+// --- typed message events -------------------------------------------------
+
+/// Records the message steps executed through it.
+struct RecordingTarget : MessageEventTarget {
+  std::vector<std::pair<MessageEvent::Kind, std::uint32_t>> fired;
+  void on_message_event(MessageEvent&& ev) override {
+    fired.emplace_back(ev.kind, ev.hop);
+  }
+};
+
+TEST(EventQueue, MessageEventsInterleaveWithClosuresDeterministically) {
+  EventQueue q;
+  RecordingTarget target;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(0); });
+  q.schedule_message(
+      10, MessageEvent{&target, Message(), MessageEvent::Kind::kHop, 7});
+  q.schedule(10, [&] { order.push_back(1); });
+  // Equal times: schedule order wins regardless of event kind.
+  auto first = q.pop();
+  EXPECT_FALSE(first.is_message);
+  first.fire();
+  auto second = q.pop();
+  ASSERT_TRUE(second.is_message);
+  EXPECT_EQ(second.msg.kind, MessageEvent::Kind::kHop);
+  second.fire();
+  q.pop().fire();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  ASSERT_EQ(target.fired.size(), 1u);
+  EXPECT_EQ(target.fired[0], std::make_pair(MessageEvent::Kind::kHop, 7u));
+}
+
+TEST(EventQueue, MessageEventCarriesItsFields) {
+  EventQueue q;
+  RecordingTarget target;
+  q.schedule_message(
+      5, MessageEvent{&target, Message(3, 9, 128, Payload{}),
+                      MessageEvent::Kind::kDispatch, 0});
+  auto ev = q.pop();
+  ASSERT_TRUE(ev.is_message);
+  EXPECT_EQ(ev.time, 5);
+  EXPECT_EQ(ev.msg.msg.src(), 3u);
+  EXPECT_EQ(ev.msg.msg.dst(), 9u);
+  EXPECT_EQ(ev.msg.msg.wire_bytes(), 128u);
+  ev.fire();
+  ASSERT_EQ(target.fired.size(), 1u);
+  EXPECT_EQ(target.fired[0].first, MessageEvent::Kind::kDispatch);
+}
+
+TEST(EventQueue, SizeAndNextTimeSpanBothEventKinds) {
+  EventQueue q;
+  RecordingTarget target;
+  q.schedule(20, [] {});
+  q.schedule_message(
+      10, MessageEvent{&target, Message(), MessageEvent::Kind::kDeliver, 0});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 10);  // the message event is earliest
+  q.pop().fire();
+  EXPECT_EQ(q.next_time(), 20);
+  q.pop().fire();
+  EXPECT_TRUE(q.empty());
+  ASSERT_EQ(target.fired.size(), 1u);
+}
+
+TEST(EventQueue, CancellingClosuresDoesNotDisturbMessageEvents) {
+  // Closure cancellation (slots, generations, lazy compaction) is invisible
+  // to the message plane: messages fire in their scheduled order.
+  EventQueue q;
+  RecordingTarget target;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 100; ++i)
+    cancelled.push_back(q.schedule(5, [] { FAIL(); }));
+  for (std::uint32_t i = 0; i < 4; ++i)
+    q.schedule_message(
+        6, MessageEvent{&target, Message(), MessageEvent::Kind::kHop, i});
+  for (EventId id : cancelled) q.cancel(id);
+  EXPECT_EQ(q.size(), 4u);
+  while (!q.empty()) q.pop().fire();
+  ASSERT_EQ(target.fired.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(target.fired[i].second, i);
+}
+
+TEST(EventQueue, MoveOnlyCaptureIsAccepted) {
+  // std::function required copyable captures; InlineFn must not.
+  EventQueue q;
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  q.schedule(1, [p = std::move(owned), &got] { got = *p; });
+  q.pop().fire();
+  EXPECT_EQ(got, 7);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+#include "simnet/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace canopus::simnet {
+namespace {
+
+TEST(InlineFn, DefaultIsEmpty) {
+  InlineFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFn n = nullptr;
+  EXPECT_FALSE(static_cast<bool>(n));
+}
+
+TEST(InlineFn, InvokesSmallCapture) {
+  int hits = 0;
+  InlineFn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, SmallCapturesFitInline) {
+  // The contract the simnet call sites static_assert on: a this-pointer
+  // plus a handful of scalars must never fall back to the heap.
+  int a = 0, b = 0, c = 0;
+  auto small = [&a, &b, &c, x = std::int64_t{1}, y = std::int64_t{2}] {
+    a = static_cast<int>(x + y) + b + c;
+  };
+  static_assert(InlineFn::fits_inline<decltype(small)>);
+  InlineFn f = std::move(small);
+  f();
+  EXPECT_EQ(a, 3);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFn f = [&hits] { ++hits; };
+  InlineFn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, MoveAssignReplacesAndDestroysOld) {
+  auto counter = std::make_shared<int>(0);
+  ASSERT_EQ(counter.use_count(), 1);
+  InlineFn f = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  f = InlineFn([counter] { *counter += 10; });
+  EXPECT_EQ(counter.use_count(), 2);  // the replaced closure released its ref
+  f();
+  EXPECT_EQ(*counter, 10);
+  f = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFn, MoveOnlyCapture) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  InlineFn f = [p = std::move(owned), &got] { got = *p; };
+  InlineFn g = std::move(f);
+  g();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(InlineFn, HeapFallbackForLargeCapture) {
+  std::array<std::int64_t, 32> big{};  // 256 bytes: over the inline budget
+  big[31] = 42;
+  std::int64_t got = 0;
+  auto large = [big, &got] { got = big[31]; };
+  static_assert(!InlineFn::fits_inline<decltype(large)>);
+  InlineFn f = std::move(large);
+  InlineFn g = std::move(f);  // heap case: move relocates a pointer
+  g();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineFn, HeapFallbackDestroysCapture) {
+  auto counter = std::make_shared<int>(0);
+  std::array<std::int64_t, 32> pad{};
+  {
+    InlineFn f = [counter, pad] { (void)pad; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, WrapsStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  static_assert(InlineFn::fits_inline<std::function<void()>>);
+  InlineFn f = fn;  // copies the std::function into inline storage
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, ReassignmentLoopDoesNotLeak) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn f;
+  for (int i = 0; i < 100; ++i) f = [counter, i] { *counter = i; };
+  f();
+  EXPECT_EQ(*counter, 99);
+  EXPECT_EQ(counter.use_count(), 2);
+}
+
+}  // namespace
+}  // namespace canopus::simnet

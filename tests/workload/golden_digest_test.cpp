@@ -1,0 +1,87 @@
+// Golden-digest determinism regression: for a fixed seed and workload, every
+// system's commit digest, read count, network statistics, and event count
+// are pinned to the exact values produced before the typed-event-plane
+// rewrite (ISSUE 4). Any change to these constants means the simulation's
+// observable behaviour changed — which a pure performance refactor of the
+// substrate must never do. If a FUTURE protocol/workload change legitimately
+// alters behaviour, regenerate the constants and say so in the commit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/deployments.h"
+
+namespace canopus::workload {
+namespace {
+
+struct Golden {
+  System system;
+  std::uint64_t fingerprint;
+  std::uint64_t writes;
+  std::uint64_t reads;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  std::uint64_t events;
+};
+
+// Captured at commit 4b75f59 (pre-rewrite) with the exact setup below.
+constexpr Golden kGolden[] = {
+    {System::kCanopus, 0xa8dec9dcc918f031ULL, 3449, 379, 283070, 23604000,
+     1191785},
+    {System::kRaft, 0xc5bb842af0672a79ULL, 3449, 379, 24525, 2769768, 127983},
+    {System::kZab, 0x56a59c42b707fc9ULL, 3449, 379, 21091, 2193240, 106467},
+    {System::kEPaxos, 0xa229fc217f2eb3a2ULL, 3449, 379, 22406, 3751440,
+     122348},
+};
+
+class GoldenDigest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenDigest, RunMatchesRecordedTrace) {
+  const Golden& g = GetParam();
+  TrialConfig tc;
+  tc.system = g.system;
+  tc.groups = 3;
+  tc.per_group = 3;
+  tc.client_machines = 2;
+  tc.write_ratio = 0.5;
+  tc.warmup = 50 * kMillisecond;
+  tc.measure = 300 * kMillisecond;
+  tc.drain = 100 * kMillisecond;
+  tc.seed = 42;
+
+  const std::uint64_t trial_seed = derive_seed(tc.seed, 0xf19aULL);
+  simnet::Simulator sim(trial_seed);
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+  auto service = make_service(tc, cluster, net);
+  auto recorder = std::make_shared<LatencyRecorder>();
+  recorder->set_window(tc.warmup, tc.warmup + tc.measure);
+  auto clients = attach_clients(tc, cluster, net, recorder, 20'000.0,
+                                trial_seed, tc.warmup + tc.measure);
+  sim.run_until(tc.warmup + tc.measure + tc.drain);
+
+  EXPECT_EQ(service->commit_fingerprint(0), g.fingerprint) << service->name();
+  EXPECT_EQ(service->committed_writes(0), g.writes);
+  EXPECT_EQ(service->served_reads(0), g.reads);
+  EXPECT_EQ(net.stats().messages, g.messages);
+  EXPECT_EQ(net.stats().bytes, g.bytes);
+  EXPECT_EQ(net.stats().dropped, 0u);
+  EXPECT_EQ(sim.events_processed(), g.events);
+
+  // Agreement: every server holds the same committed history.
+  for (std::size_t i = 1; i < service->num_servers(); ++i) {
+    EXPECT_EQ(service->commit_fingerprint(i), g.fingerprint)
+        << service->name() << " node " << i;
+    EXPECT_EQ(service->committed_writes(i), g.writes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, GoldenDigest,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(system_name(info.param.system));
+                         });
+
+}  // namespace
+}  // namespace canopus::workload
