@@ -1,0 +1,204 @@
+// Chaos sweep: seeded crash/partition storms swept over intensity, for
+// every consensus system, with the invariant audit plane judging every
+// trial (workload/audit.h).
+//
+// No paper figure corresponds to this bench — the paper's evaluation is
+// failure-free — but the design argument of §6 is that Canopus trades
+// availability under rare failures for common-case performance while never
+// violating safety. The chaos sweep makes that claim falsifiable: storms
+// drawn from seeded RNGs (simnet/chaos.h) hammer all four systems with
+// randomized crash/recover/sever/heal sequences, and the auditor checks
+// commit-prefix agreement, no-lost-acked-writes and per-session monotonic
+// reads CONTINUOUSLY. Violations must be zero for every grid point; the
+// binary exits nonzero otherwise, so CI's chaos-smoke label gates on it.
+//
+// Emits BENCH_chaos.json (canopus-bench-v1): one series per
+// (system, intensity, seed) with points "before"/"storm"/"after", scalars
+//   violations, fault_events, acked_writes, committed_writes,
+//   comparable_nodes, client_failed, recovered, recovery_ms,
+//   availability_storm, availability_after
+// plus figure-level per-system recovery percentiles and the violation
+// total. Every trial builds an isolated simulator from seeds derived off
+// its (seed, intensity) coordinates, so results are bit-identical to a
+// serial run regardless of --threads — and a violating grid point can be
+// replayed alone with --only=SYSTEM --seed=K --intensity=NAME (see
+// EXPERIMENTS.md "Chaos sweep methodology" for the bisection recipe).
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/chaos.h"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+std::string flag_value(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace canopus;
+  using namespace canopus::workload;
+  bench::Harness h(argc, argv, "chaos",
+                   "Chaos sweep: seeded fault storms x intensity, "
+                   "invariant-audited",
+                   "Sec 6 (safety under failures); no paper figure");
+  const bool quick = h.quick();
+
+  // Bisection filters: replay one slice of the grid (same derived seeds as
+  // the full sweep — filtering changes WHICH trials run, never their bits).
+  const std::string only_system = flag_value(argc, argv, "--only=");
+  const std::string only_intensity = flag_value(argc, argv, "--intensity=");
+  const std::string only_seed = flag_value(argc, argv, "--seed=");
+
+  FaultTiming ft;
+  ft.warmup = 300 * kMillisecond;
+  ft.fault_at = 700 * kMillisecond;
+  ft.heal_at = quick ? 2'000 * kMillisecond : 3'500 * kMillisecond;
+  ft.end_at = ft.heal_at + 700 * kMillisecond;
+  ft.drain = 700 * kMillisecond;
+
+  TrialConfig base;
+  base.groups = 3;
+  base.per_group = 3;
+  base.client_machines = 2;
+  base.warmup = ft.warmup;
+  base = chaos_tuned(base);
+  const double rate = 12'000;
+
+  std::vector<ChaosIntensity> intensities = standard_intensities();
+  if (!quick)
+    intensities.push_back(
+        {"extreme", 50.0, 2, 6, 100 * kMillisecond, 120 * kMillisecond});
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  if (!quick) seeds = {1, 2, 3, 4, 5};
+
+  struct Job {
+    System system;
+    const ChaosIntensity* intensity;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (System sys : kAllSystems) {
+    if (!only_system.empty() &&
+        std::string(system_name(sys)).find(only_system) == std::string::npos)
+      continue;
+    for (const ChaosIntensity& ci : intensities) {
+      if (!only_intensity.empty() && ci.name != only_intensity) continue;
+      for (std::uint64_t seed : seeds) {
+        if (!only_seed.empty() && std::to_string(seed) != only_seed) continue;
+        jobs.push_back({sys, &ci, seed});
+      }
+    }
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "error: --only/--intensity/--seed matched nothing\n");
+    return 1;
+  }
+
+  std::vector<ChaosResult> results(jobs.size());
+  h.pool().run_indexed(jobs.size(), [&](std::size_t i) {
+    TrialConfig tc = base;
+    tc.system = jobs[i].system;
+    tc.seed = jobs[i].seed;
+    results[i] = run_chaos_trial(tc, *jobs[i].intensity, ft, rate);
+  });
+
+  std::uint64_t violations_total = 0;
+  std::string last_system;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ChaosResult& r = results[i];
+    if (r.system != last_system) {
+      std::printf("\n--- %s ---\n", r.system.c_str());
+      last_system = r.system;
+    }
+    std::printf(
+        "  %-8s seed %llu  %2llu faults  avail %5.1f%%/%5.1f%%/%5.1f%%  "
+        "%s  %s\n",
+        r.intensity.c_str(), static_cast<unsigned long long>(r.seed),
+        static_cast<unsigned long long>(r.fault_events),
+        100 * r.before.throughput / rate, 100 * r.storm.throughput / rate,
+        100 * r.after.throughput / rate,
+        r.violations == 0 ? "clean" : "VIOLATED",
+        r.recovered
+            ? (std::string("recovered in ") +
+               std::to_string(r.recovery_ns / kMillisecond) + " ms")
+                  .c_str()
+            : "no post-storm completion");
+    violations_total += r.violations;
+    for (const AuditViolation& v : r.violation_details)
+      std::printf("      !! %s at t=%lld ms: %s\n",
+                  audit_violation_name(v.kind),
+                  static_cast<long long>(v.at / kMillisecond),
+                  v.detail.c_str());
+
+    auto& sr = h.add_series(r.system + " / " + r.intensity + " / seed " +
+                            std::to_string(r.seed));
+    sr.attr("system", r.system)
+        .attr("intensity", r.intensity)
+        .attr("seed", std::to_string(r.seed))
+        .scalar("violations", static_cast<double>(r.violations))
+        .scalar("fault_events", static_cast<double>(r.fault_events))
+        .scalar("acked_writes", static_cast<double>(r.acked_writes))
+        .scalar("observed_reads", static_cast<double>(r.observed_reads))
+        .scalar("committed_writes", static_cast<double>(r.committed_writes))
+        .scalar("comparable_nodes", static_cast<double>(r.comparable_nodes))
+        .scalar("client_failed", static_cast<double>(r.client_failed))
+        .scalar("recovered", r.recovered ? 1 : 0)
+        .scalar("recovery_ms",
+                r.recovered
+                    ? static_cast<double>(r.recovery_ns) / kMillisecond
+                    : -1)
+        .scalar("availability_storm", r.storm.throughput / rate)
+        .scalar("availability_after", r.after.throughput / rate)
+        .point("before", r.before)
+        .point("storm", r.storm)
+        .point("after", r.after);
+  }
+
+  // Per-system aggregates over the grid: recovery-time percentiles (over
+  // trials that recovered) and how many did.
+  for (System sys : kAllSystems) {
+    std::vector<double> rec_ms;
+    int trials = 0, recovered = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].system != sys) continue;
+      ++trials;
+      if (results[i].recovered) {
+        ++recovered;
+        rec_ms.push_back(static_cast<double>(results[i].recovery_ns) /
+                         kMillisecond);
+      }
+    }
+    if (trials == 0) continue;
+    const std::string name = system_name(sys);
+    h.add_scalar("trials_" + name, trials);
+    h.add_scalar("recovered_trials_" + name, recovered);
+    h.add_scalar("recovery_p50_ms_" + name, percentile(rec_ms, 0.50));
+    h.add_scalar("recovery_p90_ms_" + name, percentile(rec_ms, 0.90));
+    h.add_scalar("recovery_max_ms_" + name, percentile(rec_ms, 1.0));
+    std::printf("\n%s: %d/%d trials recovered, recovery p50 %.1f ms  "
+                "p90 %.1f ms\n",
+                name.c_str(), recovered, trials, percentile(rec_ms, 0.50),
+                percentile(rec_ms, 0.90));
+  }
+
+  h.add_scalar("violations_total", static_cast<double>(violations_total));
+  std::printf("\ninvariant violations: %llu\n",
+              static_cast<unsigned long long>(violations_total));
+  const int json_rc = h.finish();
+  return json_rc != 0 ? json_rc : (violations_total > 0 ? 2 : 0);
+}

@@ -204,10 +204,11 @@ class Harness {
     std::fprintf(f,
                  "{\"offered_req_s\":%.17g,\"throughput_req_s\":%.17g,"
                  "\"median_ns\":%lld,\"p99_ns\":%lld,\"mean_ns\":%.17g,"
-                 "\"completed\":%llu}",
+                 "\"completed\":%llu,\"failed\":%llu}",
                  m.offered, m.throughput, static_cast<long long>(m.median),
                  static_cast<long long>(m.p99), m.mean,
-                 static_cast<unsigned long long>(m.completed));
+                 static_cast<unsigned long long>(m.completed),
+                 static_cast<unsigned long long>(m.failed));
   }
 
   template <typename T, typename WriteValue>

@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Compare a bench_micro run against a committed baseline.
+"""Compare a bench run against a committed baseline.
 
 Usage: compare_bench.py CURRENT.json BASELINE.json [--threshold=0.20]
 
-Both files are google-benchmark JSON (bench_micro's output). Benchmarks are
-matched by name and compared on real_time; a WARNING line is printed for
-every benchmark whose time regressed by more than the threshold (default
-20%), and an improvement note for ones that got faster by the same margin.
+Two formats are supported, detected from the files themselves:
+
+* google-benchmark JSON (bench_micro): benchmarks are matched by name and
+  compared on real_time.
+* canopus-bench-v1 JSON (the figure benches, e.g. BENCH_chaos.json):
+  series are matched by name and compared on their scalars; measurement
+  points are compared on throughput. Simulated results are deterministic
+  per seed, so any drift here means behaviour changed — a refreshed
+  baseline belongs in the same PR as the change that moved it.
+
+A WARNING line is printed for every value that regressed/drifted by more
+than the threshold (default 20%; exact-match fields like violation counts
+always warn on any difference), and an improvement note for wall-clock
+values that got faster by the same margin.
 
 The exit code is always 0: CI runners differ wildly from the machine that
 produced the committed baseline, so regressions here are a prompt for a
@@ -17,13 +27,16 @@ import json
 import sys
 
 
-def load(path):
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"{path}: cannot read: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_micro(path, doc):
     if "benchmarks" not in doc:
         print(f"{path}: not google-benchmark JSON", file=sys.stderr)
         sys.exit(2)
@@ -37,17 +50,7 @@ def load(path):
     return out
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    threshold = 0.20
-    for a in argv[1:]:
-        if a.startswith("--threshold="):
-            threshold = float(a.split("=", 1)[1])
-    if len(args) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    current, baseline = load(args[0]), load(args[1])
-
+def compare_micro(current, baseline, threshold):
     regressions = 0
     for name, (base_time, unit) in sorted(baseline.items()):
         if name not in current:
@@ -69,13 +72,101 @@ def main(argv):
                   f"({1 / ratio:.2f}x faster than baseline)")
     for name in sorted(set(current) - set(baseline)):
         print(f"note: {name}: new benchmark (no baseline)")
+    return regressions
+
+
+# Scalars compared EXACTLY: integer-valued simulated results, which are
+# pure functions of the seed for a given platform's libm (the Poisson and
+# exponential draws go through exp/log, so a different libm could shift a
+# draw by an ULP and move an integer counter by a step — the same caveat
+# the golden-digest tests carry). Baselines are refreshed on the platform
+# CI runs on; the comparison is warn-only for exactly this reason.
+# Float-valued simulated results (availability, recovery_ms, throughput)
+# stay threshold-compared.
+EXACT_SCALAR_HINTS = ("violation", "fault_events", "committed", "acked",
+                      "comparable", "completed", "digests", "recovered",
+                      "observed_reads", "client_failed", "trials",
+                      "stalled", "progressed")
+
+
+def figure_scalars(doc):
+    """Flattens a canopus-bench-v1 doc to {name: value} comparable pairs."""
+    out = {}
+    for k, v in doc.get("scalars", {}).items():
+        out[f"scalars.{k}"] = v
+    for s in doc.get("series", []):
+        prefix = f"series[{s['name']}]"
+        for k, v in s.get("scalars", {}).items():
+            out[f"{prefix}.{k}"] = v
+        for label, m in s.get("points", {}).items():
+            out[f"{prefix}.points[{label}].throughput"] = m["throughput_req_s"]
+    return out
+
+
+def compare_figure(current, baseline, threshold):
+    regressions = 0
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"note: {name}: missing from current run")
+            continue
+        cur = current[name]
+        exact = any(h in name for h in EXACT_SCALAR_HINTS)
+        if exact:
+            if cur != base:
+                regressions += 1
+                print(f"WARNING: {name}: {base} -> {cur} "
+                      "(simulated result drifted; behaviour changed)")
+            continue
+        if base == 0:
+            # No ratio to take, but appearing from zero is still drift —
+            # count it (a 'note' alone buried e.g. availability 0 -> 0.4).
+            if abs(cur) > 1e-12:
+                regressions += 1
+                print(f"WARNING: {name}: {base} -> {cur} "
+                      "(baseline was zero; value appeared)")
+            continue
+        ratio = cur / base
+        if not (1.0 - threshold <= ratio <= 1.0 + threshold):
+            regressions += 1
+            print(f"WARNING: {name}: {base:.6g} -> {cur:.6g} "
+                  f"({ratio:.2f}x baseline)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name}: new value (no baseline)")
+    return regressions
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cur_doc, base_doc = load_doc(args[0]), load_doc(args[1])
+
+    cur_is_fig = isinstance(cur_doc, dict) and \
+        cur_doc.get("schema") == "canopus-bench-v1"
+    base_is_fig = isinstance(base_doc, dict) and \
+        base_doc.get("schema") == "canopus-bench-v1"
+    if cur_is_fig != base_is_fig:
+        print(f"cannot compare: {args[0]} and {args[1]} have different "
+              "schemas", file=sys.stderr)
+        return 2
+    if cur_is_fig:
+        regressions = compare_figure(figure_scalars(cur_doc),
+                                     figure_scalars(base_doc), threshold)
+    else:
+        regressions = compare_micro(load_micro(args[0], cur_doc),
+                                    load_micro(args[1], base_doc), threshold)
 
     if regressions == 0:
         print(f"compare_bench: no regressions beyond {threshold:.0%}")
     else:
-        print(f"compare_bench: {regressions} benchmark(s) regressed beyond "
-              f"{threshold:.0%} — investigate, or refresh the baseline if "
-              "the change is intended")
+        print(f"compare_bench: {regressions} value(s) regressed/drifted "
+              f"beyond {threshold:.0%} — investigate, or refresh the "
+              "baseline if the change is intended")
     return 0
 
 

@@ -19,7 +19,18 @@ MEASUREMENT_KEYS = {
     "p99_ns": int,
     "mean_ns": (int, float),
     "completed": int,
+    "failed": int,
 }
+
+# BENCH_chaos.json carries the invariant-audit verdict: every series is one
+# (system, intensity, seed) grid point and must say how the audit went.
+CHAOS_SERIES_ATTRS = ("system", "intensity", "seed")
+CHAOS_SERIES_SCALARS = (
+    "violations", "fault_events", "acked_writes", "committed_writes",
+    "comparable_nodes", "client_failed", "recovered", "recovery_ms",
+    "availability_storm", "availability_after",
+)
+CHAOS_SERIES_POINTS = ("before", "storm", "after")
 
 
 def fail(path, msg):
@@ -35,7 +46,7 @@ def check_measurement(path, m, where):
             fail(path, f"{where}: missing measurement key '{key}'")
         if not isinstance(m[key], types) or isinstance(m[key], bool):
             fail(path, f"{where}: '{key}' has wrong type {type(m[key])}")
-    if m["completed"] < 0 or m["median_ns"] < 0:
+    if m["completed"] < 0 or m["median_ns"] < 0 or m["failed"] < 0:
         fail(path, f"{where}: negative count/latency")
 
 
@@ -85,6 +96,37 @@ def check_figure(path, doc):
             check_measurement(path, s["max"], f"{where}.max")
         for label, m in s["points"].items():
             check_measurement(path, m, f"{where}.points[{label}]")
+    if doc["figure"] == "chaos":
+        check_chaos(path, doc)
+
+
+def check_chaos(path, doc):
+    """BENCH_chaos.json: per-grid-point audit verdicts must be present and
+    sane (zero violations is the bench's own exit gate; the schema checks
+    the verdict is *reported*, not what it is)."""
+    if "violations_total" not in doc["scalars"]:
+        fail(path, "chaos: missing figure scalar 'violations_total'")
+    total = 0
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        for a in CHAOS_SERIES_ATTRS:
+            if a not in s["attrs"]:
+                fail(path, f"{where}: chaos series missing attr '{a}'")
+        for k in CHAOS_SERIES_SCALARS:
+            if k not in s["scalars"]:
+                fail(path, f"{where}: chaos series missing scalar '{k}'")
+        if s["scalars"]["violations"] < 0:
+            fail(path, f"{where}: negative violation count")
+        if not (0 <= s["scalars"]["recovered"] <= 1):
+            fail(path, f"{where}: 'recovered' must be 0 or 1")
+        if s["scalars"]["recovered"] == 0 and s["scalars"]["recovery_ms"] != -1:
+            fail(path, f"{where}: unrecovered trial must report recovery_ms=-1")
+        for p in CHAOS_SERIES_POINTS:
+            if p not in s["points"]:
+                fail(path, f"{where}: chaos series missing point '{p}'")
+        total += s["scalars"]["violations"]
+    if total != doc["scalars"]["violations_total"]:
+        fail(path, "chaos: violations_total does not match the series sum")
 
 
 def check_micro(path, doc):

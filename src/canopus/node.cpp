@@ -121,7 +121,7 @@ void CanopusNode::serve_read(const kv::Request& r) {
   net().busy(node_id(), cfg_.cpu_per_read);
   const std::uint64_t value = store_.read(r.key);
   if (on_read) on_read(r, value);
-  kv::Completion done{r.id, false, value, r.arrival};
+  kv::Completion done{r.id, false, value, r.arrival, r.key};
   reply_buffer_[r.id.client].done.push_back(done);
 }
 
@@ -590,7 +590,7 @@ void CanopusNode::commit_cycle(CycleId c) {
     store_.apply(w);
     digest_.append(w);
     if (w.origin == node_id()) {
-      kv::Completion done{w.id, true, 0, w.arrival};
+      kv::Completion done{w.id, true, 0, w.arrival, w.key};
       reply_buffer_[w.id.client].done.push_back(done);
     }
   }

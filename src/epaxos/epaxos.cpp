@@ -317,7 +317,8 @@ void EPaxosNode::execute(const InstanceId& id) {
     if (inst.own && r.origin == node_id() && r.id.client != kInvalidNode) {
       if (!r.is_write) ++served_reads_;
       kv::Completion done{r.id, r.is_write,
-                          r.is_write ? 0 : store_.read(r.key), r.arrival};
+                          r.is_write ? 0 : store_.read(r.key), r.arrival,
+                          r.key};
       reply_buffer_[r.id.client].done.push_back(done);
     }
   }

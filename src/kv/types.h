@@ -38,6 +38,8 @@ struct Completion {
   bool is_write = false;
   std::uint64_t value = 0;  ///< read result (0 for writes)
   Time arrival = 0;
+  std::uint64_t key = 0;  ///< the request's key (audit plane: per-key
+                          ///< monotonic-read checking); not on the wire
 };
 
 struct ReplyBatch {

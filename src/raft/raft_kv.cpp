@@ -86,7 +86,7 @@ void RaftKvNode::enqueue(kv::Request r) {
 void RaftKvNode::serve_read(const kv::Request& r) {
   ++served_reads_;
   net().busy(node_id(), cfg_.cpu_per_read);
-  kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+  kv::Completion done{r.id, false, store_.read(r.key), r.arrival, r.key};
   reply_buffer_[r.id.client].done.push_back(done);
 }
 
@@ -130,7 +130,7 @@ void RaftKvNode::apply(LogIndex idx, const std::vector<kv::Request>& batch) {
     store_.apply(r);
     digest_.append(r);
     if (r.origin == node_id() && r.id.client != kInvalidNode) {
-      kv::Completion done{r.id, true, 0, r.arrival};
+      kv::Completion done{r.id, true, 0, r.arrival, r.key};
       reply_buffer_[r.id.client].done.push_back(done);
     }
   }

@@ -1,0 +1,141 @@
+#include "simnet/chaos.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace canopus::simnet {
+
+namespace {
+
+/// Repairs sort before faults at equal timestamps so that replaying the
+/// sorted list in order never observes more concurrent faults than the
+/// generator's own bookkeeping did (a node whose recover ties a later
+/// crash's timestamp frees its blast-radius slot first).
+int kind_rank(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kRecover: return 0;
+    case FaultEvent::Kind::kHeal: return 1;
+    case FaultEvent::Kind::kCrash: return 2;
+    case FaultEvent::Kind::kSever: return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+FaultSchedule ChaosScheduleGenerator::generate(
+    const ChaosConfig& cfg, const std::vector<NodeId>& nodes) {
+  FaultSchedule out;
+  assert(cfg.end > cfg.start && cfg.min_heal > 0);
+  assert(cfg.min_heal < cfg.end - cfg.start);
+  if (nodes.empty() || cfg.events_per_s <= 0) return out;
+  const double total_weight = cfg.crash_weight + cfg.sever_weight;
+  if (total_weight <= 0) return out;
+
+  // Active-fault bookkeeping, keyed by the scheduled repair time. An entry
+  // is retired once the injection clock passes its repair, mirroring what a
+  // replay of the final (time-sorted, repairs-first) event list observes.
+  struct DownNode {
+    Time until;
+    NodeId node;
+  };
+  struct SeveredPair {
+    Time until;
+    NodeId a, b;
+  };
+  std::vector<DownNode> down;
+  std::vector<SeveredPair> severed;
+  std::vector<FaultEvent> events;
+
+  const double mean_gap_ns = static_cast<double>(kSecond) / cfg.events_per_s;
+  const Time last_injection = cfg.end - cfg.min_heal;
+
+  // Injection times form a Poisson process over [start, last_injection];
+  // each draws a fault kind, a victim with blast-radius headroom, and an
+  // exponential duration >= min_heal clipped to heal by `end`.
+  Time t = cfg.start;
+  for (;;) {
+    t += static_cast<Time>(rng_.exponential(mean_gap_ns)) + 1;
+    if (t > last_injection) break;
+    down.erase(std::remove_if(down.begin(), down.end(),
+                              [t](const DownNode& d) { return d.until <= t; }),
+               down.end());
+    severed.erase(
+        std::remove_if(severed.begin(), severed.end(),
+                       [t](const SeveredPair& s) { return s.until <= t; }),
+        severed.end());
+
+    const bool crash_ok =
+        cfg.crash_weight > 0 &&
+        down.size() < static_cast<std::size_t>(std::max(cfg.max_down, 0)) &&
+        down.size() < nodes.size();
+    const bool sever_ok =
+        cfg.sever_weight > 0 && nodes.size() >= 2 &&
+        severed.size() < static_cast<std::size_t>(std::max(cfg.max_severed, 0));
+    if (!crash_ok && !sever_ok) continue;  // at the blast radius: drop it
+
+    bool crash = crash_ok;
+    if (crash_ok && sever_ok)
+      crash = rng_.uniform() * total_weight < cfg.crash_weight;
+
+    const Time extra = static_cast<Time>(
+        rng_.exponential(static_cast<double>(cfg.mean_extra)));
+    const Time repair = std::min(cfg.end, t + cfg.min_heal + extra);
+
+    if (crash) {
+      // Victim: uniform over currently-up nodes.
+      std::vector<NodeId> up;
+      up.reserve(nodes.size());
+      for (NodeId n : nodes) {
+        bool is_down = false;
+        for (const DownNode& d : down) is_down |= d.node == n;
+        if (!is_down) up.push_back(n);
+      }
+      const NodeId victim = up[rng_.below(up.size())];
+      events.push_back({t, FaultEvent::Kind::kCrash, victim, kInvalidNode});
+      events.push_back(
+          {repair, FaultEvent::Kind::kRecover, victim, kInvalidNode});
+      down.push_back({repair, victim});
+    } else {
+      // Victim pair: a uniform directed pair not currently severed. The
+      // pair space is tiny (n*(n-1) for cluster-sized n), so rejection
+      // sampling against the active set terminates quickly; bail to the
+      // next injection if the space is saturated.
+      NodeId a = kInvalidNode, b = kInvalidNode;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId ca = nodes[rng_.below(nodes.size())];
+        const NodeId cb = nodes[rng_.below(nodes.size())];
+        if (ca == cb) continue;
+        bool active = false;
+        for (const SeveredPair& s : severed)
+          active |= s.a == ca && s.b == cb;
+        if (active) continue;
+        a = ca;
+        b = cb;
+        break;
+      }
+      if (a == kInvalidNode) continue;
+      events.push_back({t, FaultEvent::Kind::kSever, a, b});
+      events.push_back({repair, FaultEvent::Kind::kHeal, a, b});
+      severed.push_back({repair, a, b});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     if (x.at != y.at) return x.at < y.at;
+                     return kind_rank(x.kind) < kind_rank(y.kind);
+                   });
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash: out.crash_at(ev.at, ev.a); break;
+      case FaultEvent::Kind::kRecover: out.recover_at(ev.at, ev.a); break;
+      case FaultEvent::Kind::kSever: out.sever_at(ev.at, ev.a, ev.b); break;
+      case FaultEvent::Kind::kHeal: out.heal_at(ev.at, ev.a, ev.b); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace canopus::simnet

@@ -1,0 +1,195 @@
+// Chaos trial runner: one seeded storm against one consensus system, with
+// the invariant audit plane (workload/audit.h) running continuously.
+//
+// A chaos trial is the composition of the three deployment pieces every
+// driver shares (build_cluster / make_service / attach_clients), a
+// simnet::ChaosScheduleGenerator storm armed through the service (crash and
+// recover silence/restart the protocol instance together with the network),
+// and a HistoryAuditor wired into every commit and every client completion.
+// The result is a pure function of (TrialConfig, ChaosIntensity,
+// FaultTiming, offered rate) — independent of threads or run order — so
+// bench_chaos sweeps (system x seed x intensity) on the TrialPool and stays
+// bit-identical to a serial run, and a violating grid point replays from
+// its coordinates alone.
+//
+// Phases reuse the FaultTiming vocabulary of the scenario runner:
+// before = [warmup, fault_at), storm = [fault_at, heal_at),
+// after = [heal_at, end_at), then `drain` for repair traffic to converge
+// before the auditor's final checks.
+#pragma once
+
+#include <bit>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/chaos.h"
+#include "workload/audit.h"
+#include "workload/deployments.h"
+#include "workload/fault_scenario.h"
+
+namespace canopus::workload {
+
+/// One point on the storm-intensity axis.
+struct ChaosIntensity {
+  std::string name;
+  double events_per_s = 10.0;  ///< mean fault injections per second
+  int max_down = 1;            ///< blast radius: concurrent crashed nodes
+  int max_severed = 2;         ///< blast radius: concurrent severed pairs
+  Time min_heal = 120 * kMillisecond;
+  Time mean_extra = 200 * kMillisecond;
+};
+
+/// The standard intensity grid. The blast radius never exceeds a minority
+/// of a 3-node group *at once*, but repeated crashes can darken more nodes
+/// over a storm's lifetime for systems without a rejoin path (Canopus), so
+/// high intensities are expected to cost availability — never safety.
+inline std::vector<ChaosIntensity> standard_intensities() {
+  return {
+      {"low", 4.0, 1, 1, 150 * kMillisecond, 250 * kMillisecond},
+      {"medium", 10.0, 2, 2, 120 * kMillisecond, 200 * kMillisecond},
+      {"high", 25.0, 2, 4, 100 * kMillisecond, 150 * kMillisecond},
+  };
+}
+
+/// Chaos-plane tuning on top of fault_tuned: storms produce long random
+/// downtimes (not one scripted outage), so the repair windows must cover
+/// everything a node can miss while dark — a member that falls outside
+/// Zab's history ring or EPaxos' repair ring stalls by design, which is a
+/// liveness cost the chaos bench would misreport as unavailability.
+inline TrialConfig chaos_tuned(TrialConfig tc) {
+  tc = fault_tuned(tc);
+  tc.zab.history_depth = 16'384;
+  tc.epaxos.repair_window = 16'384;
+  return tc;
+}
+
+/// PhasedRecorder that additionally pins the first completion of a request
+/// that ARRIVED after the storm ended — the client-observed recovery probe.
+class ChaosRecorder final : public PhasedRecorder {
+ public:
+  explicit ChaosRecorder(const FaultTiming& ft)
+      : PhasedRecorder(ft), storm_end_(ft.heal_at) {}
+
+  void complete(Time now, Time arrival) override {
+    PhasedRecorder::complete(now, arrival);
+    if (arrival >= storm_end_ && first_after_ < 0) first_after_ = now;
+  }
+
+  /// Completion time of the first post-storm arrival; -1 if none completed.
+  Time first_post_storm_completion() const { return first_after_; }
+
+ private:
+  Time storm_end_;
+  Time first_after_ = -1;
+};
+
+struct ChaosResult {
+  std::string system;
+  std::string intensity;
+  std::uint64_t seed = 0;          ///< tc.seed (the sweep coordinate)
+  std::uint64_t fault_events = 0;  ///< storm size (schedule entries / 2)
+
+  Measurement before, storm, after;
+
+  // Audit verdict — MUST be zero for a correct system.
+  std::uint64_t violations = 0;
+  std::vector<AuditViolation> violation_details;  ///< capped sample
+
+  // Audit-plane observability.
+  std::uint64_t acked_writes = 0;
+  std::uint64_t observed_reads = 0;
+  std::uint64_t committed_writes = 0;  ///< max over comparable nodes
+  std::uint64_t fingerprint = 0;  ///< commit fingerprint of the first
+                                  ///< comparable node (golden pinning)
+  std::size_t comparable_nodes = 0;
+  std::uint64_t client_failed = 0;  ///< requests failed at submission
+                                    ///< (crashed target server)
+
+  /// Client-observed recovery: time from storm end to the first completion
+  /// of a post-storm arrival. recovered == false when the system never
+  /// served another request (e.g. Canopus after losing a super-leaf
+  /// majority across the storm — a documented stall, not a violation).
+  bool recovered = false;
+  Time recovery_ns = -1;
+};
+
+/// Portable 64-bit FNV-1a (std::hash<std::string> is stdlib-specific; seed
+/// derivation must be identical on every platform for committed baselines).
+inline std::uint64_t chaos_salt(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline ChaosResult run_chaos_trial(const TrialConfig& tc,
+                                   const ChaosIntensity& ci,
+                                   const FaultTiming& ft,
+                                   double offered_rate) {
+  const std::uint64_t trial_seed = derive_seed(
+      derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate)),
+      chaos_salt(ci.name));
+  simnet::Simulator sim(trial_seed);
+
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+  std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
+
+  auto recorder = std::make_shared<ChaosRecorder>(ft);
+  auto clients = attach_clients(tc, cluster, net, recorder, offered_rate,
+                                trial_seed, ft.end_at);
+
+  // The audit plane listens from the very first commit and probes prefix
+  // agreement continuously through storm and drain.
+  AuditConfig ac;
+  ac.ordered = tc.system != System::kEPaxos;
+  HistoryAuditor auditor(ac, service->num_servers());
+  auditor.attach(*service, clients, sim, ft.warmup, ft.end_at + ft.drain);
+
+  // The storm: drawn from its own derived seed, armed through the service.
+  simnet::ChaosConfig cc;
+  cc.start = ft.fault_at;
+  cc.end = ft.heal_at;
+  cc.events_per_s = ci.events_per_s;
+  cc.max_down = ci.max_down;
+  cc.max_severed = ci.max_severed;
+  cc.min_heal = ci.min_heal;
+  cc.mean_extra = ci.mean_extra;
+  simnet::ChaosScheduleGenerator gen(derive_seed(trial_seed, 0xc4a0c5ULL));
+  const simnet::FaultSchedule storm = gen.generate(cc, cluster.servers);
+  arm_via_service(storm, net, *service);
+
+  sim.run_until(ft.end_at + ft.drain);
+  auditor.finalize(sim.now());
+
+  ChaosResult res;
+  res.system = service->name();
+  res.intensity = ci.name;
+  res.seed = tc.seed;
+  res.fault_events = storm.events().size() / 2;
+  res.before = measure(recorder->before(), offered_rate);
+  res.storm = measure(recorder->during(), offered_rate);
+  res.after = measure(recorder->after(), offered_rate);
+  res.violations = auditor.violation_count();
+  res.violation_details = auditor.violations();
+  res.acked_writes = auditor.acked_writes();
+  res.observed_reads = auditor.observed_reads();
+  for (std::size_t i = 0; i < service->num_servers(); ++i) {
+    if (!service->comparable(i)) continue;
+    if (res.comparable_nodes == 0)
+      res.fingerprint = service->commit_fingerprint(i);
+    ++res.comparable_nodes;
+    res.committed_writes =
+        std::max(res.committed_writes, auditor.committed_writes(i));
+  }
+  for (const auto& c : clients) res.client_failed += c->failed();
+  const Time first = recorder->first_post_storm_completion();
+  res.recovered = first >= 0;
+  res.recovery_ns = res.recovered ? first - ft.heal_at : -1;
+  return res;
+}
+
+}  // namespace canopus::workload

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
@@ -47,11 +48,25 @@ class OpenLoopClient : public simnet::Process {
   void on_message(const simnet::Message& m) override {
     const auto* rb = m.as<kv::ReplyBatch>();
     if (rb == nullptr) return;
-    for (const kv::Completion& done : rb->done)
+    for (const kv::Completion& done : rb->done) {
       rec_->complete(sim().now(), done.arrival);
+      if (on_reply) on_reply(m.src(), done);
+    }
   }
 
+  /// Requests actually handed to the network.
   std::uint64_t sent() const { return sent_; }
+  /// Requests counted as failed at submission time because their target
+  /// server was crashed (they are NOT sent — the network would only
+  /// black-hole them — and are reported through LatencyRecorder::fail so
+  /// availability numbers under faults stay honest).
+  std::uint64_t failed() const { return failed_; }
+  /// Every request this client generated (sent + failed-at-submit).
+  std::uint64_t generated() const { return sent_ + failed_; }
+
+  /// Optional audit hook: fired for every completion the client observes,
+  /// with the server that sent the reply (workload/audit.h wires this).
+  std::function<void(NodeId, const kv::Completion&)> on_reply;
 
  private:
   void tick() {
@@ -78,13 +93,21 @@ class OpenLoopClient : public simnet::Process {
         batches[(rotate_ + i) % batches.size()].reqs.push_back(r);
       }
       rotate_ = (rotate_ + n) % batches.size();
-      sent_ += n;
       for (std::size_t s = 0; s < batches.size(); ++s) {
-        if (!batches[s].reqs.empty()) {
-          // Size before move: argument evaluation order is unspecified.
-          const std::size_t bytes = batches[s].wire_bytes();
-          send(cfg_.servers[s], bytes, std::move(batches[s]));
+        if (batches[s].reqs.empty()) continue;
+        if (!net().is_up(cfg_.servers[s])) {
+          // The target is crashed: the network would silently drop the
+          // batch. Count every request as failed instead of black-holing
+          // it, so fault benches can tell "the system was slow" apart from
+          // "the client's server was dead".
+          failed_ += batches[s].reqs.size();
+          for (const kv::Request& r : batches[s].reqs) rec_->fail(r.arrival);
+          continue;
         }
+        sent_ += batches[s].reqs.size();
+        // Size before move: argument evaluation order is unspecified.
+        const std::size_t bytes = batches[s].wire_bytes();
+        send(cfg_.servers[s], bytes, std::move(batches[s]));
       }
     }
     after(cfg_.tick, [this] { tick(); });
@@ -117,6 +140,7 @@ class OpenLoopClient : public simnet::Process {
   Rng rng_;
   std::uint64_t seq_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t failed_ = 0;
   std::uint64_t rotate_ = 0;
 };
 

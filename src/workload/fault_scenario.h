@@ -161,7 +161,7 @@ inline TrialConfig fault_tuned(TrialConfig tc) {
 
 /// Splits completions into per-phase recorders by request *arrival* time,
 /// so each phase's throughput counts exactly the requests offered in it.
-class PhasedRecorder final : public LatencyRecorder {
+class PhasedRecorder : public LatencyRecorder {
  public:
   explicit PhasedRecorder(const FaultTiming& ft) {
     before_.set_window(ft.warmup, ft.fault_at);
@@ -175,6 +175,12 @@ class PhasedRecorder final : public LatencyRecorder {
     after_.complete(now, arrival);
   }
 
+  void fail(Time arrival) override {
+    before_.fail(arrival);
+    during_.fail(arrival);
+    after_.fail(arrival);
+  }
+
   const LatencyRecorder& before() const { return before_; }
   const LatencyRecorder& during() const { return during_; }
   const LatencyRecorder& after() const { return after_; }
@@ -186,6 +192,31 @@ class PhasedRecorder final : public LatencyRecorder {
 // --------------------------------------------------------------------------
 // Runner
 // --------------------------------------------------------------------------
+
+/// Arms a FaultSchedule on the network, routing node crash/recover through
+/// the service (so the protocol instance is silenced/restarted together
+/// with the network) while sever/heal act on the network alone. Shared by
+/// the scenario runner and the chaos runner (workload/chaos.h). The service
+/// must outlive the armed events; the node-index map is owned by the hook.
+inline void arm_via_service(const simnet::FaultSchedule& sched,
+                            simnet::Network& net, ConsensusService& service) {
+  auto index_of = std::make_shared<std::unordered_map<NodeId, std::size_t>>();
+  for (std::size_t i = 0; i < service.num_servers(); ++i)
+    (*index_of)[service.server_node(i)] = i;
+  sched.arm(net, [svc = &service, index_of](simnet::Network& n,
+                                            const simnet::FaultEvent& ev) {
+    switch (ev.kind) {
+      case simnet::FaultEvent::Kind::kCrash:
+        svc->crash(index_of->at(ev.a));
+        break;
+      case simnet::FaultEvent::Kind::kRecover:
+        svc->recover(index_of->at(ev.a));
+        break;
+      default:
+        simnet::FaultSchedule::apply(n, ev);
+    }
+  });
+}
 
 struct ScenarioResult {
   std::string system;
@@ -274,22 +305,7 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
         break;
     }
   }
-  std::unordered_map<NodeId, std::size_t> index_of;
-  for (std::size_t i = 0; i < cluster.servers.size(); ++i)
-    index_of[cluster.servers[i]] = i;
-  sched.arm(net, [&service, &index_of](simnet::Network& n,
-                                       const simnet::FaultEvent& ev) {
-    switch (ev.kind) {
-      case simnet::FaultEvent::Kind::kCrash:
-        service->crash(index_of.at(ev.a));
-        break;
-      case simnet::FaultEvent::Kind::kRecover:
-        service->recover(index_of.at(ev.a));
-        break;
-      default:
-        simnet::FaultSchedule::apply(n, ev);
-    }
-  });
+  arm_via_service(sched, net, *service);
 
   sim.run_until(ft.end_at + ft.drain);
 

@@ -19,6 +19,8 @@ struct Measurement {
   Time p99 = 0;
   double mean = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< client-side submission failures (crashed
+                             ///< target server); see LatencyRecorder::fail
 };
 
 inline Measurement measure(const LatencyRecorder& rec, double offered) {
@@ -29,6 +31,7 @@ inline Measurement measure(const LatencyRecorder& rec, double offered) {
   m.p99 = rec.histogram().percentile(0.99);
   m.mean = rec.histogram().mean();
   m.completed = rec.completed();
+  m.failed = rec.failed();
   return m;
 }
 

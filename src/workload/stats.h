@@ -111,8 +111,19 @@ class LatencyRecorder {
     hist_.record(now - arrival);
   }
 
+  /// Records a request that FAILED at submission — the client knows it will
+  /// never complete (today: its target server is crashed, so the request
+  /// would be black-holed). Windowed by arrival like complete(), so fault
+  /// benches report honest per-phase failure counts instead of silently
+  /// folding client-visible failures into "never completed".
+  virtual void fail(Time arrival) {
+    if (arrival < begin_ || arrival >= end_) return;
+    ++failed_;
+  }
+
   const LatencyHistogram& histogram() const { return hist_; }
   std::uint64_t completed() const { return hist_.count(); }
+  std::uint64_t failed() const { return failed_; }
 
   /// Completed requests per second over the window.
   double throughput() const {
@@ -124,6 +135,7 @@ class LatencyRecorder {
   Time begin_ = 0;
   Time end_ = 0;
   LatencyHistogram hist_;
+  std::uint64_t failed_ = 0;
 };
 
 }  // namespace canopus::workload

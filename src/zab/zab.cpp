@@ -59,7 +59,7 @@ void ZabNode::submit(kv::Request r) {
     // Reads are served locally from committed state (ZooKeeper semantics).
     ++served_reads_;
     net().busy(node_id(), cfg_.cpu_per_read);
-    kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+    kv::Completion done{r.id, false, store_.read(r.key), r.arrival, r.key};
     reply_buffer_[r.id.client].done.push_back(done);
     flush_replies();
     return;
@@ -90,7 +90,7 @@ void ZabNode::on_message(const simnet::Message& m) {
       if (!r.is_write) {
         ++served_reads_;
         net().busy(node_id(), cfg_.cpu_per_read);
-        kv::Completion done{r.id, false, store_.read(r.key), r.arrival};
+        kv::Completion done{r.id, false, store_.read(r.key), r.arrival, r.key};
         reply_buffer_[r.id.client].done.push_back(done);
       } else if (role() == Role::kLeader) {
         pending_.push_back(r);
@@ -294,7 +294,7 @@ void ZabNode::apply(Zxid zxid, const std::vector<kv::Request>& batch) {
     store_.apply(r);
     digest_.append(r);
     if (r.origin == node_id() && r.id.client != kInvalidNode) {
-      kv::Completion done{r.id, true, 0, r.arrival};
+      kv::Completion done{r.id, true, 0, r.arrival, r.key};
       reply_buffer_[r.id.client].done.push_back(done);
     }
   }

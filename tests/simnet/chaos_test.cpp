@@ -1,0 +1,184 @@
+// ChaosScheduleGenerator property tests: storms are a pure function of the
+// seed, respect their window and min-heal delays, pair every fault with a
+// repair, and never exceed the configured blast radius.
+#include "simnet/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace canopus::simnet {
+namespace {
+
+ChaosConfig test_config() {
+  ChaosConfig cfg;
+  cfg.start = 500 * kMillisecond;
+  cfg.end = 3'000 * kMillisecond;
+  cfg.events_per_s = 20.0;
+  cfg.max_down = 2;
+  cfg.max_severed = 3;
+  cfg.min_heal = 100 * kMillisecond;
+  cfg.mean_extra = 150 * kMillisecond;
+  return cfg;
+}
+
+std::vector<NodeId> test_nodes() { return {0, 1, 2, 3, 4, 5, 6, 7, 8}; }
+
+bool schedules_equal(const FaultSchedule& a, const FaultSchedule& b) {
+  if (a.events().size() != b.events().size()) return false;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const FaultEvent &x = a.events()[i], &y = b.events()[i];
+    if (x.at != y.at || x.kind != y.kind || x.a != y.a || x.b != y.b)
+      return false;
+  }
+  return true;
+}
+
+TEST(ChaosScheduleGenerator, SameSeedSameSchedule) {
+  const ChaosConfig cfg = test_config();
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    ChaosScheduleGenerator g1(seed), g2(seed);
+    const FaultSchedule s1 = g1.generate(cfg, test_nodes());
+    const FaultSchedule s2 = g2.generate(cfg, test_nodes());
+    EXPECT_FALSE(s1.empty()) << "storm with seed " << seed << " is empty";
+    EXPECT_TRUE(schedules_equal(s1, s2)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosScheduleGenerator, DifferentSeedsDiffer) {
+  const ChaosConfig cfg = test_config();
+  ChaosScheduleGenerator g1(1), g2(2);
+  const FaultSchedule s1 = g1.generate(cfg, test_nodes());
+  const FaultSchedule s2 = g2.generate(cfg, test_nodes());
+  EXPECT_FALSE(schedules_equal(s1, s2));
+}
+
+TEST(ChaosScheduleGenerator, GeneratorStateAdvances) {
+  // Two storms drawn from ONE generator differ: the per-trial seed, not a
+  // reset, decides the storm.
+  const ChaosConfig cfg = test_config();
+  ChaosScheduleGenerator g(7);
+  const FaultSchedule s1 = g.generate(cfg, test_nodes());
+  const FaultSchedule s2 = g.generate(cfg, test_nodes());
+  EXPECT_FALSE(schedules_equal(s1, s2));
+}
+
+TEST(ChaosScheduleGenerator, EventsInsideWindowSortedAndPaired) {
+  const ChaosConfig cfg = test_config();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosScheduleGenerator gen(seed);
+    const FaultSchedule s = gen.generate(cfg, test_nodes());
+    Time prev = cfg.start;
+    std::map<NodeId, Time> down_since;          // node -> crash time
+    std::map<std::pair<NodeId, NodeId>, Time> severed_since;
+    for (const FaultEvent& ev : s.events()) {
+      EXPECT_GE(ev.at, cfg.start) << "seed " << seed;
+      EXPECT_LE(ev.at, cfg.end) << "seed " << seed;
+      EXPECT_GE(ev.at, prev) << "schedule not time-sorted, seed " << seed;
+      prev = ev.at;
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash:
+          EXPECT_FALSE(down_since.count(ev.a))
+              << "double crash of node " << ev.a << ", seed " << seed;
+          down_since[ev.a] = ev.at;
+          break;
+        case FaultEvent::Kind::kRecover: {
+          ASSERT_TRUE(down_since.count(ev.a))
+              << "recover without crash, seed " << seed;
+          // Min fault duration: the repair respects min_heal.
+          EXPECT_GE(ev.at - down_since[ev.a], cfg.min_heal)
+              << "seed " << seed;
+          down_since.erase(ev.a);
+          break;
+        }
+        case FaultEvent::Kind::kSever: {
+          const auto key = std::make_pair(ev.a, ev.b);
+          EXPECT_FALSE(severed_since.count(key)) << "seed " << seed;
+          severed_since[key] = ev.at;
+          break;
+        }
+        case FaultEvent::Kind::kHeal: {
+          const auto key = std::make_pair(ev.a, ev.b);
+          ASSERT_TRUE(severed_since.count(key)) << "seed " << seed;
+          EXPECT_GE(ev.at - severed_since[key], cfg.min_heal)
+              << "seed " << seed;
+          severed_since.erase(key);
+          break;
+        }
+      }
+    }
+    // Every fault healed by the end of the storm window.
+    EXPECT_TRUE(down_since.empty()) << "unrecovered crash, seed " << seed;
+    EXPECT_TRUE(severed_since.empty()) << "unhealed sever, seed " << seed;
+  }
+}
+
+TEST(ChaosScheduleGenerator, RespectsBlastRadius) {
+  ChaosConfig cfg = test_config();
+  cfg.events_per_s = 200.0;  // saturate: force the caps to bind
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosScheduleGenerator gen(seed);
+    const FaultSchedule s = gen.generate(cfg, test_nodes());
+    std::set<NodeId> down;
+    std::set<std::pair<NodeId, NodeId>> severed;
+    std::size_t peak_down = 0, peak_severed = 0;
+    for (const FaultEvent& ev : s.events()) {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash: down.insert(ev.a); break;
+        case FaultEvent::Kind::kRecover: down.erase(ev.a); break;
+        case FaultEvent::Kind::kSever: severed.insert({ev.a, ev.b}); break;
+        case FaultEvent::Kind::kHeal: severed.erase({ev.a, ev.b}); break;
+      }
+      peak_down = std::max(peak_down, down.size());
+      peak_severed = std::max(peak_severed, severed.size());
+    }
+    EXPECT_LE(peak_down, static_cast<std::size_t>(cfg.max_down))
+        << "seed " << seed;
+    EXPECT_LE(peak_severed, static_cast<std::size_t>(cfg.max_severed))
+        << "seed " << seed;
+  }
+  // The saturated storm actually reaches the caps — otherwise this test
+  // proves nothing about them.
+  ChaosScheduleGenerator gen(1);
+  const FaultSchedule s = gen.generate(cfg, test_nodes());
+  EXPECT_GT(s.events().size(), 8u);
+}
+
+TEST(ChaosScheduleGenerator, TargetsOnlyGivenNodes) {
+  const ChaosConfig cfg = test_config();
+  const std::vector<NodeId> nodes = {10, 20, 30};
+  ChaosScheduleGenerator gen(3);
+  const FaultSchedule s = gen.generate(cfg, nodes);
+  const std::set<NodeId> allowed(nodes.begin(), nodes.end());
+  for (const FaultEvent& ev : s.events()) {
+    EXPECT_TRUE(allowed.count(ev.a)) << "targeted foreign node " << ev.a;
+    if (ev.kind == FaultEvent::Kind::kSever ||
+        ev.kind == FaultEvent::Kind::kHeal) {
+      EXPECT_TRUE(allowed.count(ev.b)) << "targeted foreign node " << ev.b;
+    }
+  }
+}
+
+TEST(ChaosScheduleGenerator, DegenerateInputsYieldEmptySchedules) {
+  ChaosConfig cfg = test_config();
+  ChaosScheduleGenerator gen(1);
+  EXPECT_TRUE(gen.generate(cfg, {}).empty());
+  cfg.events_per_s = 0;
+  EXPECT_TRUE(gen.generate(cfg, test_nodes()).empty());
+  cfg = test_config();
+  cfg.crash_weight = 0;
+  cfg.sever_weight = 0;
+  EXPECT_TRUE(gen.generate(cfg, test_nodes()).empty());
+  // Crash-only storms on a single node are legal (sever needs two nodes).
+  cfg = test_config();
+  cfg.sever_weight = 0;
+  const FaultSchedule s = gen.generate(cfg, {5});
+  for (const FaultEvent& ev : s.events())
+    EXPECT_TRUE(ev.kind == FaultEvent::Kind::kCrash ||
+                ev.kind == FaultEvent::Kind::kRecover);
+}
+
+}  // namespace
+}  // namespace canopus::simnet

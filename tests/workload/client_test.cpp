@@ -1,4 +1,4 @@
-// OpenLoopClient construction contract.
+// OpenLoopClient construction contract + failed-request accounting.
 #include "workload/client.h"
 
 #include <gtest/gtest.h>
@@ -6,8 +6,16 @@
 #include <memory>
 #include <stdexcept>
 
+#include "simnet/topology.h"
+
 namespace canopus::workload {
 namespace {
+
+/// Accepts and ignores everything (stands in for a server).
+class SinkProcess final : public simnet::Process {
+ public:
+  void on_message(const simnet::Message&) override {}
+};
 
 TEST(OpenLoopClient, RejectsEmptyServerList) {
   // tick() round-robins over cfg.servers; an empty list used to reach a
@@ -24,6 +32,78 @@ TEST(OpenLoopClient, AcceptsNonEmptyServerList) {
   auto rec = std::make_shared<LatencyRecorder>();
   OpenLoopClient client(cfg, rec, 1);
   EXPECT_EQ(client.sent(), 0u);
+  EXPECT_EQ(client.failed(), 0u);
+}
+
+// Regression (chaos-plane accounting): requests whose target server is
+// crashed used to be handed to the network and silently black-holed — they
+// counted as "sent" and simply never completed, so availability under
+// faults could not distinguish a dead server from a slow one. They must be
+// counted as failed, both on the client and in the recorder's window.
+TEST(OpenLoopClient, CountsRequestsToCrashedServerAsFailed) {
+  simnet::Simulator sim(7);
+  simnet::RackConfig rc;
+  rc.racks = 1;
+  rc.servers_per_rack = 2;
+  rc.clients_per_rack = 1;
+  simnet::Cluster cluster = simnet::build_multi_rack(rc);
+  simnet::Network net(sim, cluster.topo, {});
+
+  ClientConfig cfg;
+  cfg.servers = cluster.servers;
+  cfg.rate_per_s = 50'000;
+  cfg.stop_at = 100 * kMillisecond;
+  auto rec = std::make_shared<LatencyRecorder>();
+  rec->set_window(0, 100 * kMillisecond);
+  OpenLoopClient client(cfg, rec, 11);
+  net.attach(cluster.clients[0], client);
+  SinkProcess s0, s1;
+  net.attach(cluster.servers[0], s0);
+  net.attach(cluster.servers[1], s1);
+
+  net.crash(cluster.servers[0]);  // one of the two targets is dead
+  const std::uint64_t dropped_before = net.stats().dropped;
+  sim.run_until(100 * kMillisecond);
+
+  // Roughly half the generated requests round-robin onto the crashed
+  // server: all of those must be accounted as failed, none black-holed.
+  EXPECT_GT(client.failed(), 0u);
+  EXPECT_GT(client.sent(), 0u);
+  EXPECT_EQ(client.generated(), client.sent() + client.failed());
+  EXPECT_GT(client.failed(), client.generated() / 3);
+  EXPECT_LT(client.failed(), 2 * client.generated() / 3);
+  // The recorder saw every failure (same arrival-window accounting as
+  // completions), so per-phase fault benches report them honestly.
+  EXPECT_EQ(rec->failed(), client.failed());
+  // And the client did NOT hand the doomed batches to the network: no new
+  // drops were recorded for them.
+  EXPECT_EQ(net.stats().dropped, dropped_before);
+}
+
+// With every server up, nothing is counted failed (the accounting is
+// inert outside fault scenarios, so steady-state benches are unchanged).
+TEST(OpenLoopClient, NoFailuresWhenAllServersUp) {
+  simnet::Simulator sim(7);
+  simnet::RackConfig rc;
+  rc.racks = 1;
+  rc.servers_per_rack = 2;
+  rc.clients_per_rack = 1;
+  simnet::Cluster cluster = simnet::build_multi_rack(rc);
+  simnet::Network net(sim, cluster.topo, {});
+
+  ClientConfig cfg;
+  cfg.servers = cluster.servers;
+  cfg.rate_per_s = 50'000;
+  cfg.stop_at = 50 * kMillisecond;
+  auto rec = std::make_shared<LatencyRecorder>();
+  rec->set_window(0, 50 * kMillisecond);
+  OpenLoopClient client(cfg, rec, 11);
+  net.attach(cluster.clients[0], client);
+  sim.run_until(50 * kMillisecond);
+
+  EXPECT_GT(client.sent(), 0u);
+  EXPECT_EQ(client.failed(), 0u);
+  EXPECT_EQ(rec->failed(), 0u);
 }
 
 }  // namespace

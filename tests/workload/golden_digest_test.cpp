@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "workload/chaos.h"
 #include "workload/deployments.h"
 
 namespace canopus::workload {
@@ -79,6 +80,80 @@ TEST_P(GoldenDigest, RunMatchesRecordedTrace) {
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, GoldenDigest,
                          ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(system_name(info.param.system));
+                         });
+
+// --------------------------------------------------------------------------
+// Chaos-storm goldens: one fixed-seed storm per system, pinning the storm
+// shape, the surviving commit history, and — above all — that the
+// continuously-running invariant auditor reports ZERO violations. Any
+// change to these constants means protocol behaviour under faults changed;
+// regenerate them deliberately (the failure output prints the actual
+// values) and say so in the commit.
+// --------------------------------------------------------------------------
+
+struct ChaosGolden {
+  System system;
+  std::uint64_t fault_events;
+  std::uint64_t fingerprint;
+  std::uint64_t committed;
+  std::uint64_t acked;
+  std::uint64_t comparable;
+};
+
+// Captured with the exact setup below. Canopus: 3 of its 9 pnodes crash
+// during the storm and stay dark (no rejoin path), so 6 nodes remain
+// comparable and some tail acks are never delivered; the quorum systems
+// recover everyone.
+constexpr ChaosGolden kChaosGolden[] = {
+    {System::kCanopus, 8, 0xae51ca73fb0b0c98ULL, 4361, 4146, 6},
+    {System::kRaft, 8, 0x6c07f98c1506a95eULL, 7000, 7000, 9},
+    {System::kZab, 8, 0x15204ca296a80093ULL, 7003, 7003, 9},
+    {System::kEPaxos, 8, 0x7354716838e20d9fULL, 7452, 7452, 9},
+};
+
+class ChaosGoldenDigest : public ::testing::TestWithParam<ChaosGolden> {};
+
+TEST_P(ChaosGoldenDigest, StormMatchesRecordedTraceAndStaysClean) {
+  const ChaosGolden& g = GetParam();
+  TrialConfig tc;
+  tc.system = g.system;
+  tc.groups = 3;
+  tc.per_group = 3;
+  tc.client_machines = 2;
+  tc.write_ratio = 0.5;
+  tc.seed = 42;
+  tc = chaos_tuned(tc);
+
+  FaultTiming ft;
+  ft.warmup = 100 * kMillisecond;
+  ft.fault_at = 250 * kMillisecond;
+  ft.heal_at = 850 * kMillisecond;
+  ft.end_at = 1'100 * kMillisecond;
+  ft.drain = 400 * kMillisecond;
+  tc.warmup = ft.warmup;
+
+  const ChaosIntensity ci{"golden", 12.0, 2, 2, 80 * kMillisecond,
+                          100 * kMillisecond};
+  const ChaosResult r = run_chaos_trial(tc, ci, ft, 15'000.0);
+
+  // The invariant audit is the point: a storm must never violate safety.
+  EXPECT_EQ(r.violations, 0u) << r.system;
+  for (const AuditViolation& v : r.violation_details)
+    ADD_FAILURE() << r.system << ": " << audit_violation_name(v.kind) << ": "
+                  << v.detail;
+
+  // Determinism pins: the storm and its surviving history replay exactly.
+  EXPECT_EQ(r.fault_events, g.fault_events) << r.system;
+  EXPECT_EQ(r.fingerprint, g.fingerprint) << r.system;
+  EXPECT_EQ(r.committed_writes, g.committed) << r.system;
+  EXPECT_EQ(r.acked_writes, g.acked) << r.system;
+  EXPECT_EQ(r.comparable_nodes, g.comparable) << r.system;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ChaosGoldenDigest,
+                         ::testing::ValuesIn(kChaosGolden),
                          [](const auto& info) {
                            return std::string(system_name(info.param.system));
                          });
