@@ -18,13 +18,16 @@ using namespace canopus;
 using namespace canopus::workload;
 
 Measurement run_shape(int sls, int per_sl, int arity, double rate,
-                      bool quick) {
+                      bool quick, unsigned sim_threads) {
   simnet::Simulator sim(7);
   simnet::RackConfig rc;
   rc.racks = sls;
   rc.servers_per_rack = per_sl;
   rc.clients_per_rack = 2;
   simnet::Cluster cluster = simnet::build_multi_rack(rc);
+  if (sim_threads > 1)
+    sim.configure_shards(cluster.topo,
+                         simnet::make_shard_map(cluster.topo, sim_threads));
   simnet::Network net(sim, cluster.topo, simnet::CpuModel{2'000, 2'000, 2.5});
 
   lot::LotConfig lc;
@@ -60,7 +63,11 @@ Measurement run_shape(int sls, int per_sl, int arity, double rate,
     clients.push_back(std::make_unique<OpenLoopClient>(cc, rec, seeder()));
     net.attach(cluster.clients[i], *clients.back());
   }
-  sim.run_until(warmup + window + 400 * kMillisecond);
+  const Time deadline = warmup + window + 400 * kMillisecond;
+  if (sim_threads > 1)
+    sim.run_parallel_until(deadline);
+  else
+    sim.run_until(deadline);
   return canopus::workload::measure(*rec, rate);
 }
 
@@ -86,7 +93,7 @@ int main(int argc, char** argv) {
   h.pool().run_indexed(shapes.size(), [&](std::size_t i) {
     results[i] =
         run_shape(shapes[i].sls, shapes[i].per_sl, shapes[i].arity,
-                  1'000'000, quick);
+                  1'000'000, quick, h.sim_threads());
   });
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     canopus::bench::print_measurement_row(shapes[i].name, results[i]);

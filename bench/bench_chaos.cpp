@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   ft.drain = 700 * kMillisecond;
 
   TrialConfig base;
+  base.sim_threads = h.sim_threads();
   base.groups = 3;
   base.per_group = 3;
   base.client_machines = 2;

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   }
 
   TrialConfig base;
+  base.sim_threads = h.sim_threads();
   base.groups = groups;
   base.per_group = per_group;
   base.client_machines = 2;

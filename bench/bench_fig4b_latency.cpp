@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   for (int pr : per_rack) {
     for (const Series& s : series) {
       TrialConfig tc;
+      tc.sim_threads = h.sim_threads();
       tc.groups = 3;
       tc.per_group = pr;
       tc.warmup = 400 * kMillisecond;

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     std::printf("\n--- %d nodes ---\n", 3 * pr);
     for (const Entry& e : entries) {
       TrialConfig tc;
+      tc.sim_threads = h.sim_threads();
       tc.system = e.system;
       tc.groups = 3;
       tc.per_group = pr;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                 3 * dcs);
     for (bool canopus : {true, false}) {
       TrialConfig tc;
+      tc.sim_threads = h.sim_threads();
       tc.system = canopus ? System::kCanopus : System::kEPaxos;
       tc.wan = true;
       tc.groups = dcs;

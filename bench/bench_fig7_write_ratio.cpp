@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   double canopus50 = 0, epaxos20 = 0;
   for (const Series& s : series) {
     TrialConfig tc;
+    tc.sim_threads = h.sim_threads();
     tc.system = s.system;
     tc.wan = true;
     tc.groups = 3;

@@ -26,9 +26,14 @@
 //   }
 //
 // CLI flags (shared by all benches):
-//   --full        fine-grained sweeps (default: moderate "quick" depth)
-//   --threads=N   trial-pool size (default: hardware concurrency)
-//   --json=PATH   output path (default: BENCH_<figure>.json in the cwd)
+//   --full            fine-grained sweeps (default: moderate "quick" depth)
+//   --threads=N       trial-pool size: how many independent TRIALS run
+//                     concurrently (default: hardware concurrency)
+//   --sim-threads=N   shard workers INSIDE each trial (default 1 = serial
+//                     event loop; >1 runs the sharded PDES kernel, one
+//                     worker per rack/DC-derived shard, bit-identical
+//                     results either way — see DESIGN.md Sec 10)
+//   --json=PATH       output path (default: BENCH_<figure>.json in the cwd)
 #pragma once
 
 #include <chrono>
@@ -106,18 +111,23 @@ class Harness {
         ref_(std::move(paper_ref)),
         json_path_(arg_value(argc, argv, "--json=", "BENCH_" + figure_ + ".json")),
         full_(has_flag(argc, argv, "--full")),
+        sim_threads_(parse_sim_threads(argc, argv)),
         pool_(parse_threads(argc, argv)),
         start_(std::chrono::steady_clock::now()),
         events_at_start_(simnet::Simulator::global_events()),
         allocs_at_start_(heap_allocations()) {
     print_header(title_.c_str(), ref_.c_str());
-    std::printf("mode: %s   trial threads: %u\n", full_ ? "full" : "quick",
-                pool_.threads());
+    std::printf("mode: %s   trial threads: %u   sim threads: %u\n",
+                full_ ? "full" : "quick", pool_.threads(), sim_threads_);
   }
 
   bool full() const { return full_; }
   bool quick() const { return !full_; }
   workload::TrialPool& pool() { return pool_; }
+
+  /// Intra-trial shard workers (--sim-threads=N); 1 = serial event loop.
+  /// Benches forward this into TrialConfig::sim_threads.
+  unsigned sim_threads() const { return sim_threads_; }
 
   SeriesResult& add_series(std::string name) {
     series_.emplace_back();
@@ -182,6 +192,13 @@ class Harness {
     return n > 0 ? static_cast<unsigned>(n) : 0;
   }
 
+  static unsigned parse_sim_threads(int argc, char** argv) {
+    const std::string v = arg_value(argc, argv, "--sim-threads=", "");
+    if (v.empty()) return 1;  // serial event loop
+    const long n = std::strtol(v.c_str(), nullptr, 10);
+    return n > 0 ? static_cast<unsigned>(n) : 1;
+  }
+
   static void json_string(std::FILE* f, const std::string& s) {
     std::fputc('"', f);
     for (const char c : s) {
@@ -239,8 +256,8 @@ class Harness {
     json_string(f, title_);
     std::fputs(",\"paper_ref\":", f);
     json_string(f, ref_);
-    std::fprintf(f, ",\"mode\":\"%s\",\"threads\":%u",
-                 full_ ? "full" : "quick", pool_.threads());
+    std::fprintf(f, ",\"mode\":\"%s\",\"threads\":%u,\"sim_threads\":%u",
+                 full_ ? "full" : "quick", pool_.threads(), sim_threads_);
     std::fprintf(f, ",\"wall_clock_seconds\":%.3f", wall);
     std::fprintf(f, ",\"events_processed\":%llu",
                  static_cast<unsigned long long>(events));
@@ -289,6 +306,7 @@ class Harness {
   std::string ref_;
   std::string json_path_;
   bool full_;
+  unsigned sim_threads_;
   workload::TrialPool pool_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t events_at_start_;

@@ -32,6 +32,18 @@ CHAOS_SERIES_SCALARS = (
 )
 CHAOS_SERIES_POINTS = ("before", "storm", "after")
 
+# BENCH_pdes.json carries the sharded-kernel scaling study: every series is
+# one (topology, sim_threads) point, diffed against its serial twin.
+PDES_SERIES_SCALARS = (
+    "sim_threads", "wall_seconds", "speedup_vs_serial", "events",
+    "committed_writes", "identical_to_serial",
+)
+PDES_FIGURE_SCALARS = (
+    "fig6_speedup_at_4_threads", "fig6_serial_wall_seconds",
+    "stress_speedup_at_4_threads", "stress_serial_wall_seconds",
+    "hardware_threads", "all_identical_to_serial",
+)
+
 
 def fail(path, msg):
     print(f"{path}: INVALID: {msg}", file=sys.stderr)
@@ -98,6 +110,8 @@ def check_figure(path, doc):
             check_measurement(path, m, f"{where}.points[{label}]")
     if doc["figure"] == "chaos":
         check_chaos(path, doc)
+    if doc["figure"] == "pdes":
+        check_pdes(path, doc)
 
 
 def check_chaos(path, doc):
@@ -127,6 +141,35 @@ def check_chaos(path, doc):
         total += s["scalars"]["violations"]
     if total != doc["scalars"]["violations_total"]:
         fail(path, "chaos: violations_total does not match the series sum")
+
+
+def check_pdes(path, doc):
+    """BENCH_pdes.json: the scaling study's cardinal claim is serial
+    bit-identity — the schema requires every point to *report* the diff
+    verdict (the bench itself exits nonzero on a mismatch)."""
+    for k in PDES_FIGURE_SCALARS:
+        if k not in doc["scalars"]:
+            fail(path, f"pdes: missing figure scalar '{k}'")
+    if doc["scalars"]["hardware_threads"] < 0:
+        fail(path, "pdes: negative hardware_threads")
+    if doc["scalars"]["all_identical_to_serial"] not in (0, 1):
+        fail(path, "pdes: 'all_identical_to_serial' must be 0 or 1")
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        if "topology" not in s["attrs"]:
+            fail(path, f"{where}: pdes series missing attr 'topology'")
+        for k in PDES_SERIES_SCALARS:
+            if k not in s["scalars"]:
+                fail(path, f"{where}: pdes series missing scalar '{k}'")
+        if s["scalars"]["sim_threads"] < 1:
+            fail(path, f"{where}: sim_threads < 1")
+        if s["scalars"]["wall_seconds"] < 0:
+            fail(path, f"{where}: negative wall_seconds")
+        if s["scalars"]["identical_to_serial"] not in (0, 1):
+            fail(path, f"{where}: 'identical_to_serial' must be 0 or 1")
+        if (s["scalars"]["sim_threads"] > 1
+                and s["scalars"]["identical_to_serial"] != 1):
+            fail(path, f"{where}: sharded run diverged from its serial twin")
 
 
 def check_micro(path, doc):

@@ -244,7 +244,7 @@ void CanopusNode::start_cycle(CycleId c) {
   p.cycle = c;
   p.round = 1;
   p.vnode = lot_->leaf_of(node_id());
-  p.number = sim().rng()();
+  p.number = rng()();
   p.tiebreak = node_id();
   p.writes =
       std::make_shared<const std::vector<kv::Request>>(std::move(batch));

@@ -16,6 +16,11 @@ inline constexpr Time kMicrosecond = 1'000;
 inline constexpr Time kMillisecond = 1'000'000;
 inline constexpr Time kSecond = 1'000'000'000;
 
+/// "Never": far beyond any simulated horizon, with headroom so that
+/// kTimeInf + any real latency cannot overflow Time (the PDES clock
+/// exchange adds lookaheads to published clocks).
+inline constexpr Time kTimeInf = Time{1} << 60;
+
 /// Identifies a physical node (a LOT pnode, a Raft peer, a Zab server...).
 /// Node ids are dense indices assigned by the topology builder.
 using NodeId = std::uint32_t;

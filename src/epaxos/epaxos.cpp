@@ -94,8 +94,7 @@ void EPaxosNode::flush_batch() {
   // Interference model: with probability cfg_.interference the instance
   // conflicts with all currently active interfering instances and must
   // carry them as dependencies (the paper evaluates at 0 -> always empty).
-  if (cfg_.interference > 0 &&
-      sim().rng().uniform() < cfg_.interference) {
+  if (cfg_.interference > 0 && rng().uniform() < cfg_.interference) {
     inst.deps = active_interfering_;
     active_interfering_.push_back(id);
   }

@@ -12,7 +12,9 @@ RaftNode::RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
       members_(std::move(members)),
       sim_(sim),
       cb_(std::move(cb)),
-      opt_(opt) {
+      opt_(opt),
+      rng_(derive_seed(derive_seed(sim.seed(), 0x4a47ULL),
+                       (std::uint64_t{group} << 32) ^ self)) {
   assert(std::find(members_.begin(), members_.end(), self_) != members_.end());
   next_index_.assign(members_.size(), 1);
   match_index_.assign(members_.size(), 0);
@@ -58,7 +60,7 @@ void RaftNode::reset_election_timer() {
   const Time span = opt_.election_timeout_max - opt_.election_timeout_min;
   const Time timeout =
       opt_.election_timeout_min +
-      (span > 0 ? static_cast<Time>(sim_.rng().below(
+      (span > 0 ? static_cast<Time>(rng_.below(
                       static_cast<std::uint64_t>(span)))
                 : 0);
   election_timer_ = sim_.after(timeout, [this] { become_candidate(); });

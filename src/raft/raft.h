@@ -148,6 +148,11 @@ class RaftNode {
   simnet::Simulator& sim_;
   Callbacks cb_;
   Options opt_;
+  /// Election-jitter stream, seeded from (trial seed, group, self) only:
+  /// under sharded execution a shared simulator-wide stream would make the
+  /// jitter depend on the event interleaving; this one depends only on the
+  /// node's own draw history.
+  Rng rng_;
 
   Role role_ = Role::kFollower;
   Term term_ = 0;

@@ -8,10 +8,15 @@ namespace canopus::simnet {
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEvent) return;
-  const auto slot = static_cast<std::uint32_t>((id & 0xffffffffULL) - 1);
+  // Id layout (see schedule()): [63..56 routing tag | 55..24 gen |
+  // 23..0 slot+1]. The tag is the Simulator's business; it is stripped
+  // before the id reaches this queue, so only gen/slot are parsed here.
+  const auto slot = static_cast<std::uint32_t>((id & 0xffffffULL) - 1);
   if (slot >= slots_.size()) return;
   const Slot& s = slots_[slot];
-  if (s.gen != static_cast<std::uint32_t>(id >> 32) || s.seq == 0) return;
+  if (s.gen != static_cast<std::uint32_t>((id >> 24) & 0xffffffffULL) ||
+      s.seq == 0)
+    return;
   disarm(slot);
   // The heap still holds a stale record for this event. Compact once stale
   // records dominate, so cancel-heavy workloads stay at O(live) memory while

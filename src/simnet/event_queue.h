@@ -1,7 +1,23 @@
 // Priority event queue with O(log n) schedule/pop and O(1) cancellation.
 //
-// Two event kinds share one deterministic firing order (a monotonic
-// sequence number breaks time ties in schedule order):
+// Ordering: events fire in (time, seq) order. The queue imposes no policy
+// on seq beyond uniqueness — callers choose the discipline:
+//
+//  * standalone use (tests, microbenches): the internal monotonic counter
+//    (the schedule(Time, fn) overloads) gives plain schedule-order ties;
+//  * sharded simulation: the Simulator passes EXTERNAL seqs of the form
+//    (lane << 40) | per-lane-counter, where a lane is one node, one link,
+//    or the control plane, and each lane's counter is only ever advanced by
+//    the shard that owns the lane. Because a lane's counter sequence
+//    depends only on that lane's own execution history, the (time, seq)
+//    total order — and therefore the cross-SHARD tie-break at equal times:
+//    lower lane first, then lower per-lane counter — is identical whether
+//    the shards run serially on one queue or in parallel on many, which is
+//    what makes the PDES backend bit-identical to the serial kernel
+//    (DESIGN.md §10; tested in tests/simnet/event_queue_test.cpp and
+//    tests/workload/pdes_determinism_test.cpp).
+//
+// Two event kinds share one deterministic firing order:
 //
 //  * closure events — an InlineFn timer callback (64-byte inline storage,
 //    see inline_fn.h); the protocol timer currency. These are cancellable,
@@ -77,16 +93,27 @@ class EventQueue {
   // members are defined inline (bottom of this header) so Network's and
   // Simulator's loops inline them across the TU boundary.
 
-  /// Schedules `fn` at absolute time `t`. Events at equal times fire in
-  /// schedule order (a monotonic sequence number is the tiebreak), keeping
-  /// runs deterministic. Closure and message events share one sequence.
-  EventId schedule(Time t, InlineFn fn);
+  /// Schedules `fn` at absolute time `t` with an explicit tie-break
+  /// sequence number (see the header comment for the discipline). `seq`
+  /// must be unique among pending events and nonzero (0 marks disarmed
+  /// slots internally).
+  EventId schedule(Time t, std::uint64_t seq, InlineFn fn);
+
+  /// Convenience for standalone use: ties fire in schedule order via the
+  /// queue-local counter. Do not mix with external seqs.
+  EventId schedule(Time t, InlineFn fn) {
+    return schedule(t, next_seq_++, std::move(fn));
+  }
 
   /// Schedules a typed message event at absolute time `t`; same ordering
   /// guarantees as schedule(). Message events are not cancellable (and
   /// return no id): they bypass the slot machinery and live directly in
   /// the message heap — no per-event allocation at steady state.
-  void schedule_message(Time t, MessageEvent&& ev);
+  void schedule_message(Time t, std::uint64_t seq, MessageEvent&& ev);
+
+  void schedule_message(Time t, MessageEvent&& ev) {
+    schedule_message(t, next_seq_++, std::move(ev));
+  }
 
   /// Cancels a pending closure event; cancelling an already-fired or
   /// invalid id is a no-op. (Ids carry a per-slot generation, so a stale id
@@ -98,6 +125,18 @@ class EventQueue {
 
   /// Time of the earliest pending event. Precondition: !empty().
   Time next_time();
+
+  /// (time, seq) of the earliest pending event — the run loops use this to
+  /// merge several queues (shards + control plane) into one total order.
+  /// Precondition: !empty().
+  struct Key {
+    Time time;
+    std::uint64_t seq;
+    friend bool operator<(const Key& a, const Key& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    }
+  };
+  Key next_key();
 
   /// The popped earliest pending event: exactly one of `fn` / `msg` is
   /// engaged, per `is_message`.
@@ -205,7 +244,8 @@ inline void EventQueue::skip_cancelled() {
   }
 }
 
-inline EventId EventQueue::schedule(Time t, InlineFn fn) {
+inline EventId EventQueue::schedule(Time t, std::uint64_t seq, InlineFn fn) {
+  assert(seq != 0);
   std::uint32_t slot;
   if (free_.empty()) {
     slot = static_cast<std::uint32_t>(slots_.size());
@@ -216,21 +256,27 @@ inline EventId EventQueue::schedule(Time t, InlineFn fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
-  s.seq = next_seq_++;
+  s.seq = seq;
   heap_.push_back(Entry{t, s.seq, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   // An EventId packs {generation, slot+1}; slot+1 keeps every valid id
-  // nonzero so kInvalidEvent (0) can never name a slot.
-  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
+  // nonzero so kInvalidEvent (0) can never name a slot. The slot index is
+  // confined to 24 bits so the Simulator can tag the owning queue (shard
+  // index or control plane) in the id's top byte and route cancel() without
+  // a lookup; 2^24 simultaneously-armed timers per shard is far beyond any
+  // simulated workload, and the assert guards the day that changes.
+  assert(slot < (1u << 24) - 1);
+  return (static_cast<EventId>(s.gen) << 24) | (slot + 1);
 }
 
-inline void EventQueue::schedule_message(Time t, MessageEvent&& ev) {
+inline void EventQueue::schedule_message(Time t, std::uint64_t seq,
+                                         MessageEvent&& ev) {
   // Hand-rolled sift-up: the standard push_heap routes the new entry
   // through a temporary even when it already sits in heap position — and a
   // MsgEntry move is 64 bytes. Events are mostly scheduled in near-time
   // order, so the early-out is the common path.
-  msg_heap_.push_back(MsgEntry{t, next_seq_++, std::move(ev)});
+  msg_heap_.push_back(MsgEntry{t, seq, std::move(ev)});
   std::size_t i = msg_heap_.size() - 1;
   if (i == 0 || !msg_before(msg_heap_[i], msg_heap_[(i - 1) / 2])) return;
   MsgEntry v = std::move(msg_heap_[i]);
@@ -250,6 +296,17 @@ inline Time EventQueue::next_time() {
   return closure_first(heap_.front(), msg_heap_.front())
              ? heap_.front().time
              : msg_heap_.front().time;
+}
+
+inline EventQueue::Key EventQueue::next_key() {
+  skip_cancelled();
+  assert(!empty());
+  if (heap_.empty())
+    return Key{msg_heap_.front().time, msg_heap_.front().seq};
+  if (msg_heap_.empty()) return Key{heap_.front().time, heap_.front().seq};
+  return closure_first(heap_.front(), msg_heap_.front())
+             ? Key{heap_.front().time, heap_.front().seq}
+             : Key{msg_heap_.front().time, msg_heap_.front().seq};
 }
 
 inline void EventQueue::fire_closure(Time& now) {

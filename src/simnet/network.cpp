@@ -22,7 +22,14 @@ Network::Network(Simulator& sim, Topology topo, CpuModel cpu)
       link_bytes_(topo_.num_links(), 0),
       cpu_backlog_(topo_.num_nodes(), 0),
       link_backlog_(topo_.num_links(), 0),
-      link_memo_(topo_.num_links()) {}
+      link_memo_(topo_.num_links()) {
+  // Register the topology with the kernel's lane tables (a no-op when
+  // configure_shards() already installed a sharded map), then size the
+  // per-shard scratch slots: one per shard plus one for control/serial
+  // contexts.
+  sim_.init_topology(topo_.num_nodes(), topo_.num_links());
+  slots_.resize(sim_.num_shards() + 1);
+}
 
 void Network::attach(NodeId id, Process& proc) {
   assert(id < procs_.size());
@@ -30,9 +37,14 @@ void Network::attach(NodeId id, Process& proc) {
   proc.sim_ = &sim_;
   proc.net_ = this;
   proc.id_ = id;
+  // Per-process RNG stream: a function of the trial seed and the node id
+  // only, so draws are reproducible under any execution schedule.
+  proc.rng_ = Rng(derive_seed(derive_seed(sim_.seed(), 0x90de5eedULL), id));
   auto start = [&proc] { proc.on_start(); };
   static_assert(InlineFn::fits_inline<decltype(start)>);
-  sim_.after(0, std::move(start));
+  // on_start runs on the node's own lane (and therefore in its shard):
+  // everything it schedules — timers, the first sends — stays shard-local.
+  sim_.at_node(id, 0, std::move(start));
 }
 
 void Network::on_message_event(MessageEvent&& ev) {
@@ -63,7 +75,7 @@ void Network::send(Message m) {
   // Fast path: with no severed pairs (the overwhelmingly common case) skip
   // the hash probe entirely.
   if (!severed_.empty() && severed_.contains(pair_key(src, dst))) {
-    ++stats_.dropped;
+    ++slot().stats.dropped;
     return;
   }
 
@@ -75,15 +87,21 @@ void Network::send(Message m) {
                  cpu_byte_cost(m.wire_bytes());
   cpu_free_[src] = t;
 
-  ++stats_.messages;
-  stats_.bytes += m.wire_bytes();
+  NetworkStats& st = slot().stats;
+  ++st.messages;
+  st.bytes += m.wire_bytes();
   // Store-and-forward, one event per hop: a link's transmission slot is
   // claimed when the message actually ARRIVES at that link. (Reserving all
   // hops inside this call would order reservations by send-call time, so a
   // WAN message — which reaches the destination's down-link only ~66 ms
   // from now — would block intra-DC messages that physically arrive there
   // first.)
-  sim_.at_message(t, make_event(std::move(m), MessageEvent::Kind::kHop, 0));
+  //
+  // Lanes/shards: the first-hop arrival is produced by the sender's node
+  // lane and executes in the sender's shard (make_shard_map guarantees a
+  // path's first link is owned by its source's shard).
+  sim_.at_message(t, /*lane=*/src, sim_.node_shard(src),
+                  make_event(std::move(m), MessageEvent::Kind::kHop, 0));
 }
 
 void Network::hop_arrival(Message&& m, std::size_t hop) {
@@ -100,21 +118,32 @@ void Network::hop_arrival(Message&& m, std::size_t hop) {
   link_free_[l] = start + serialize;
   link_bytes_[l] += m.wire_bytes();
   const Time next = start + serialize + topo_.link(l).latency;
-  sim_.at_message(next,
+  // The next-hop arrival is produced by THIS link's lane and executes in
+  // the shard owning the next link (the destination node's shard past the
+  // end — the same shard, since a path's last link is owned by it). When
+  // those differ the hand-off crosses shards, and the crossed link's
+  // latency — included in `next` — is exactly the lookahead the kernel
+  // synchronizes on.
+  const std::uint32_t next_shard = hop + 1 < path.size()
+                                       ? sim_.link_shard(path[hop + 1])
+                                       : sim_.node_shard(m.dst());
+  sim_.at_message(next, sim_.link_lane(l), next_shard,
                   make_event(std::move(m), MessageEvent::Kind::kHop, hop + 1));
 }
 
 void Network::send_local(Message m) {
-  if (!up_[m.src()]) return;
-  const Time t = std::max(sim_.now(), cpu_free_[m.src()]) + cpu_.send_fixed;
-  cpu_free_[m.src()] = t;
-  sim_.at_message(t, make_event(std::move(m), MessageEvent::Kind::kDeliver));
+  const NodeId src = m.src();
+  if (!up_[src]) return;
+  const Time t = std::max(sim_.now(), cpu_free_[src]) + cpu_.send_fixed;
+  cpu_free_[src] = t;
+  sim_.at_message(t, /*lane=*/src, sim_.node_shard(src),
+                  make_event(std::move(m), MessageEvent::Kind::kDeliver));
 }
 
 void Network::deliver(Message&& m, Time arrival) {
   const NodeId dst = m.dst();
   if (!up_[dst] || procs_[dst] == nullptr) {
-    ++stats_.dropped;
+    ++slot().stats.dropped;
     return;
   }
   // Receiver CPU: deserialization + handler dispatch, serialized per node.
@@ -123,13 +152,14 @@ void Network::deliver(Message&& m, Time arrival) {
   const Time ready = std::max(arrival, cpu_free_[dst]) + cpu_.recv_fixed +
                      cpu_byte_cost(m.wire_bytes());
   cpu_free_[dst] = ready;
-  sim_.at_message(ready,
+  // Delivery and dispatch both execute in the destination's shard.
+  sim_.at_message(ready, /*lane=*/dst, sim_.node_shard(dst),
                   make_event(std::move(m), MessageEvent::Kind::kDispatch));
 }
 
 void Network::dispatch(Message&& m) {
   if (!up_[m.dst()]) {
-    ++stats_.dropped;
+    ++slot().stats.dropped;
     return;
   }
   if (trace_) trace_(sim_.now(), m);

@@ -79,7 +79,18 @@ class Network : public MessageEventTarget {
   void heal(NodeId a, NodeId b);
 
   // --- observability --------------------------------------------------
-  const NetworkStats& stats() const { return stats_; }
+  /// Aggregated over the per-shard slots (the counters are sharded so
+  /// concurrent workers never contend); call from outside execution or at
+  /// a barrier for an exact value.
+  NetworkStats stats() const {
+    NetworkStats total;
+    for (const ShardSlot& s : slots_) {
+      total.messages += s.stats.messages;
+      total.bytes += s.stats.bytes;
+      total.dropped += s.stats.dropped;
+    }
+    return total;
+  }
   /// Total bytes that traversed a given link (for utilization assertions).
   std::uint64_t link_bytes(LinkId l) const { return link_bytes_[l]; }
 
@@ -95,6 +106,9 @@ class Network : public MessageEventTarget {
   const Topology& topo() const { return topo_; }
 
   /// Optional delivery trace hook (time, message) fired at delivery.
+  /// Serial-execution diagnostic only: the hook runs from whichever shard
+  /// dispatches the message, so under run_parallel_until() it would need
+  /// its own synchronization — don't combine tracing with sharded runs.
   using TraceFn = std::function<void(Time, const Message&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
@@ -127,6 +141,23 @@ class Network : public MessageEventTarget {
     Time cost = 0;
   };
 
+  /// Per-shard mutable scratch (one cache line each, plus a final slot for
+  /// control/serial contexts): counters are totals-by-sum, and the memo is
+  /// a pure cache whose placement cannot affect computed values — so the
+  /// split changes nothing observable while letting shard workers write
+  /// without contention. Every other mutable array is owner-partitioned by
+  /// construction: link state is only touched by the shard owning the
+  /// link, node CPU state by the shard owning the node, and up_/severed_
+  /// are written solely at control barriers (workers parked).
+  struct alignas(64) ShardSlot {
+    NetworkStats stats;
+    CostMemo cpu_byte_memo;
+  };
+
+  ShardSlot& slot() {
+    return slots_[sim_.exec_shard(static_cast<std::uint32_t>(slots_.size() - 1))];
+  }
+
   Simulator& sim_;
   Topology topo_;
   CpuModel cpu_;
@@ -139,8 +170,7 @@ class Network : public MessageEventTarget {
   std::vector<Time> link_backlog_;
   std::unordered_set<std::uint64_t> severed_;
   std::vector<CostMemo> link_memo_;  ///< per link: last serialize time
-  CostMemo cpu_byte_memo_;           ///< last per-byte CPU charge
-  NetworkStats stats_;
+  std::vector<ShardSlot> slots_;     ///< [num_shards] + control slot
   TraceFn trace_;
 
   Time link_serialize(LinkId l, std::size_t bytes) {
@@ -154,12 +184,13 @@ class Network : public MessageEventTarget {
   }
 
   Time cpu_byte_cost(std::size_t bytes) {
-    if (cpu_byte_memo_.bytes != bytes) {
-      cpu_byte_memo_.bytes = bytes;
-      cpu_byte_memo_.cost = static_cast<Time>(
+    CostMemo& memo = slot().cpu_byte_memo;
+    if (memo.bytes != bytes) {
+      memo.bytes = bytes;
+      memo.cost = static_cast<Time>(
           std::llround(static_cast<double>(bytes) * cpu_.ns_per_byte));
     }
-    return cpu_byte_memo_.cost;
+    return memo.cost;
   }
 };
 
@@ -181,6 +212,13 @@ class Process {
   Simulator& sim() const { return *sim_; }
   Network& net() const { return *net_; }
 
+  /// Per-process deterministic RNG, seeded at attach() from the trial seed
+  /// and the node id. Protocol code must draw from THIS stream, never from
+  /// Simulator::rng(): a per-node stream's draw order depends only on the
+  /// node's own event history, so it is identical under serial and sharded
+  /// execution — a shared stream's would depend on the global interleaving.
+  Rng& rng() { return rng_; }
+
   /// Sends a typed payload to `dst`, charging `wire_bytes` on the wire.
   /// Any registered wire-message type converts to Payload at this boundary.
   void send(NodeId dst, std::size_t wire_bytes, Payload payload) {
@@ -196,6 +234,7 @@ class Process {
   Simulator* sim_ = nullptr;
   Network* net_ = nullptr;
   NodeId id_ = kInvalidNode;
+  Rng rng_{0};
 };
 
 }  // namespace canopus::simnet

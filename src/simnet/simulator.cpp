@@ -1,15 +1,164 @@
+// Simulator cold paths plus the sharded (PDES) execution engine.
+//
+// The parallel engine is a conservative null-message design (DESIGN.md
+// §10). Each shard worker repeats one round:
+//
+//   read neighbor clocks -> drain inbound rings -> execute -> publish
+//
+// and the soundness of that order is the whole synchronization story: an
+// acquire-read of a neighbor's promise (eot = "I will never again produce
+// an event below this time") synchronizes with its release-store, which
+// the sender performs only AFTER the round's ring pushes — so every
+// hand-off older than the promise is visible to the drain, and every
+// later hand-off carries time >= promise + lookahead, i.e. at or above
+// the bound this shard executes strictly below. Deadlock-freedom follows
+// from positive lookahead: the shard holding the globally earliest event
+// always satisfies head < min(eot_in + lookahead) and makes progress,
+// and blocked workers keep re-reading and re-publishing so rising clocks
+// propagate.
+//
+// Control-lane events (fault injections, probes, client stop hooks) fire
+// at global barriers: the coordinator waits until every worker is
+// provably idle below the next control time (gen-stamped states + empty
+// rings, double-read for stability), parks the workers, fires exactly one
+// control event on its own thread, rewinds every shard promise to that
+// time, and resumes. One event per barrier keeps the time-tie order
+// right: shard events a control closure inserts at time T must run before
+// a second control event at T, because the control lane is the largest
+// lane and loses every tie.
 #include "simnet/simulator.h"
+
+#include <algorithm>
+#include <thread>
 
 namespace canopus::simnet {
 
+namespace {
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin-wait backoff: PAUSE for a short burst, then fall back to yielding
+// the timeslice. On machines with a core per worker the yield path never
+// triggers; on oversubscribed machines (CI runners routinely expose a
+// single core) it is what makes the conservative clock exchange advance at
+// scheduler speed instead of one lookahead step per preemption quantum.
+struct Backoff {
+  unsigned n = 0;
+  void spin() {
+    if (++n > 64)
+      std::this_thread::yield();
+    else
+      cpu_pause();
+  }
+  void reset() { n = 0; }
+};
+}  // namespace
+
 std::atomic<std::uint64_t> Simulator::global_events_{0};
+thread_local Simulator::ExecCtx Simulator::tl_ctx_;
+
+void Simulator::install_default() {
+  // Control-only configuration: no topology yet, one shard, and lane 0 IS
+  // the control lane. Standalone users (unit tests, microbenches) never
+  // leave this state.
+  num_nodes_ = 0;
+  num_links_ = 0;
+  control_lane_ = 0;
+  cur_lane_ = 0;
+  lane_ctr_.assign(1, 0);
+  lane_shard_.clear();
+  shards_.clear();
+  shards_.push_back(std::make_unique<Shard>());
+  rings_.clear();
+  rings_.resize(1);
+  lookahead_.clear();
+}
+
+void Simulator::install(const ShardMap& map, std::vector<Time> lookahead,
+                        std::size_t nodes, std::size_t links) {
+  assert(!configured_ && "shard map already installed");
+  assert(idle() && events_ == 0 && "install the shard map before scheduling");
+  assert(map.num_shards >= 1 && map.num_shards < kCtlTag);
+  assert(nodes + links < (std::size_t{1} << 24) && "lane id must fit 24 bits");
+  num_nodes_ = nodes;
+  num_links_ = links;
+  control_lane_ = static_cast<std::uint32_t>(nodes + links);
+  cur_lane_ = control_lane_;
+  lane_ctr_.assign(nodes + links + 1, 0);
+  lane_shard_.resize(nodes + links);
+  for (std::size_t n = 0; n < nodes; ++n) lane_shard_[n] = map.node_shard[n];
+  for (std::size_t l = 0; l < links; ++l)
+    lane_shard_[nodes + l] = map.link_shard[l];
+  shards_.clear();
+  for (std::uint32_t k = 0; k < map.num_shards; ++k)
+    shards_.push_back(std::make_unique<Shard>());
+  lookahead_ = std::move(lookahead);
+  const std::size_t k = map.num_shards;
+  rings_.clear();
+  rings_.resize(k * k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      if (i == j || lookahead_.empty()) continue;
+      if (lookahead_[i * k + j] < kTimeInf)
+        rings_[i * k + j] = std::make_unique<SpscEventRing>();
+    }
+  }
+  configured_ = true;
+}
+
+void Simulator::configure_shards(const Topology& topo, ShardMap map) {
+  std::vector<Time> la = min_cut_matrix(topo, map);
+  install(map, std::move(la), topo.num_nodes(), topo.num_links());
+}
+
+void Simulator::init_topology(std::size_t num_nodes, std::size_t num_links) {
+  if (configured_) {
+    assert(num_nodes == num_nodes_ && num_links == num_links_ &&
+           "Network topology disagrees with the installed shard map");
+    (void)num_nodes;
+    (void)num_links;
+    return;
+  }
+  ShardMap map;
+  map.num_shards = 1;
+  map.node_shard.assign(num_nodes, 0);
+  map.link_shard.assign(num_links, 0);
+  install(map, {}, num_nodes, num_links);
+}
+
+EventQueue* Simulator::earliest_queue(EventQueue::Key& key) {
+  EventQueue* best = nullptr;
+  if (!ctl_q_.empty()) {
+    key = ctl_q_.next_key();
+    best = &ctl_q_;
+  }
+  for (auto& s : shards_) {
+    if (s->q.empty()) continue;
+    const EventQueue::Key k = s->q.next_key();
+    if (best == nullptr || k < key) {
+      key = k;
+      best = &s->q;
+    }
+  }
+  return best;
+}
 
 std::uint64_t Simulator::run() {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    queue_.fire_next(now_);
+  EventQueue::Key key;
+  while (EventQueue* q = earliest_queue(key)) {
+    cur_lane_ = seq_lane(key.seq);
+    q->fire_next(now_);
     ++n;
   }
+  cur_lane_ = control_lane_;
   events_ += n;
   global_events_.fetch_add(n, std::memory_order_relaxed);
   return n;
@@ -17,11 +166,252 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    queue_.fire_next(now_);
+  EventQueue::Key key;
+  for (;;) {
+    EventQueue* q = earliest_queue(key);
+    if (q == nullptr || key.time > deadline) break;
+    cur_lane_ = seq_lane(key.seq);
+    q->fire_next(now_);
     ++n;
   }
   now_ = deadline;
+  cur_lane_ = control_lane_;
+  events_ += n;
+  global_events_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+void Simulator::drain_inbound(std::uint32_t me, std::uint64_t& progress) {
+  Shard& sh = *shards_[me];
+  const std::uint32_t k = num_shards();
+  for (std::uint32_t j = 0; j < k; ++j) {
+    SpscEventRing* r = j == me ? nullptr : ring(j, me);
+    if (r == nullptr) continue;
+    SpscEventRing::Slot slot;
+    while (r->try_pop(slot)) {
+      sh.q.schedule_message(slot.time, slot.seq, std::move(slot.ev));
+      ++progress;
+    }
+  }
+}
+
+void Simulator::handoff_full_wait(SpscEventRing& r) {
+  // A producer blocked on a full ring drains its OWN inbound rings while
+  // waiting — the consumer drains every round, and servicing our own
+  // producers here breaks the only possible cyclic wait. The drained work
+  // is republished with the round's state word; a worker blocked here is
+  // provably non-idle (it is mid-execution), so quiescence cannot pass.
+  std::uint64_t progress = 0;
+  Backoff wait;
+  while (r.full()) {
+    drain_inbound(tl_ctx_.shard, progress);
+    wait.spin();
+  }
+}
+
+void Simulator::worker_loop(std::uint32_t me) {
+  tl_ctx_ = ExecCtx{this, me, 0, now_};
+  Shard& sh = *shards_[me];
+  const std::uint32_t k = num_shards();
+  struct InEdge {
+    Shard* from;
+    SpscEventRing* ring;
+    Time lookahead;
+  };
+  std::vector<InEdge> ins;
+  for (std::uint32_t j = 0; j < k; ++j) {
+    if (j == me || lookahead_.empty()) continue;
+    const Time la = lookahead_[j * k + me];
+    if (la < kTimeInf) ins.push_back(InEdge{shards_[j].get(), ring(j, me), la});
+  }
+
+  std::uint32_t gen = ctl_gen_.load(std::memory_order_acquire);
+  std::uint64_t progress = 0;
+  Backoff idle_wait;
+  for (;;) {
+    if (ctl_stop_.load(std::memory_order_acquire)) {
+      // Deep park: ack once, then spin ONLY on the generation counter so
+      // the coordinator can mutate queues, clocks and lane counters
+      // without any worker re-reading them mid-barrier.
+      stop_acks_.fetch_add(1, std::memory_order_acq_rel);
+      Backoff parked;
+      while (ctl_gen_.load(std::memory_order_acquire) == gen) parked.spin();
+      if (done_.load(std::memory_order_acquire)) break;
+      ++gen;
+      idle_wait.reset();
+      continue;
+    }
+    const Time limit = ctl_limit_.load(std::memory_order_acquire);
+    const std::uint64_t round_start = progress;
+
+    // 1. Read neighbor promises FIRST. The acquire pairs with the
+    // publisher's release below: hand-offs made before a promise are
+    // visible to the drain, later ones are timestamped at or above
+    // promise + lookahead — which is exactly the bound we execute below.
+    Time safe = kTimeInf;
+    for (const InEdge& e : ins) {
+      safe = std::min(safe,
+                      e.from->eot.load(std::memory_order_acquire) + e.lookahead);
+    }
+
+    // 2. Drain inbound rings, clearing our idle bit BEFORE the first pop:
+    // the coordinator must never observe "everyone idle + rings empty"
+    // while a popped-but-unqueued event is in this worker's hands.
+    bool busy_stored = false;
+    for (const InEdge& e : ins) {
+      if (e.ring->empty()) continue;
+      if (!busy_stored) {
+        sh.state.store(state_word(gen, progress, false),
+                       std::memory_order_release);
+        busy_stored = true;
+      }
+      SpscEventRing::Slot slot;
+      while (e.ring->try_pop(slot)) {
+        sh.q.schedule_message(slot.time, slot.seq, std::move(slot.ev));
+        ++progress;
+      }
+    }
+
+    // 3. Execute strictly below the conservative bound and never past the
+    // control limit. Events AT the limit are ours to run: the control
+    // event at that time fires later, at the barrier (largest lane loses
+    // the tie), exactly as in the serial merge.
+    while (!sh.q.empty()) {
+      const EventQueue::Key key = sh.q.next_key();
+      if (key.time > limit || key.time >= safe) break;
+      tl_ctx_.lane = seq_lane(key.seq);
+      sh.q.fire_next(tl_ctx_.now);
+      ++sh.events;
+      ++progress;
+    }
+
+    // 4. Publish our promise AFTER this round's hand-offs (a neighbor that
+    // reads it therefore sees them too), then the gen-stamped idle state.
+    const Time head = sh.q.empty() ? kTimeInf : sh.q.next_key().time;
+    sh.eot.store(std::min(head, safe), std::memory_order_release);
+    sh.state.store(state_word(gen, progress, head > limit),
+                   std::memory_order_release);
+    if (progress != round_start)
+      idle_wait.reset();
+    else
+      idle_wait.spin();
+  }
+  tl_ctx_ = ExecCtx{};
+}
+
+bool Simulator::quiesced(std::uint32_t gen,
+                         std::vector<std::uint64_t>& scratch) {
+  // Quiescent below the published limit iff: every worker's LATEST state
+  // word is idle and stamped with the current generation, every ring is
+  // empty at a point after those words were read, and a re-read finds the
+  // words unchanged. A worker clears its idle bit before popping a ring
+  // (release, sequenced before the pop's head-store), so observing an
+  // empty ring implies observing the busy mark of any in-flight drain —
+  // the re-read then fails and we retry.
+  const std::size_t k = shards_.size();
+  scratch.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t w = shards_[i]->state.load(std::memory_order_acquire);
+    if (state_gen(w) != gen || !state_idle(w)) return false;
+    scratch[i] = w;
+  }
+  for (const auto& r : rings_) {
+    if (r && !r->empty()) return false;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (shards_[i]->state.load(std::memory_order_acquire) != scratch[i])
+      return false;
+  }
+  return true;
+}
+
+void Simulator::park_workers() {
+  ctl_stop_.store(true, std::memory_order_release);
+  const std::uint32_t k = num_shards();
+  Backoff wait;
+  while (stop_acks_.load(std::memory_order_acquire) != k) wait.spin();
+}
+
+void Simulator::drain_ctl_cancels() {
+  std::lock_guard<std::mutex> lock(ctl_cancel_mu_);
+  for (EventId id : ctl_cancels_) ctl_q_.cancel(id & kIdMask);
+  ctl_cancels_.clear();
+}
+
+std::uint64_t Simulator::run_parallel_until(Time deadline) {
+  assert(tl_ctx_.sim == nullptr && "nested run_parallel_until");
+  const std::uint32_t k = num_shards();
+
+  ctl_gen_.store(0, std::memory_order_relaxed);
+  stop_acks_.store(0, std::memory_order_relaxed);
+  ctl_stop_.store(false, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);
+  {
+    const Time tc0 = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
+    ctl_limit_.store(std::min(tc0, deadline), std::memory_order_relaxed);
+  }
+  for (auto& s : shards_) {
+    s->events = 0;
+    s->eot.store(now_, std::memory_order_relaxed);
+    s->state.store(state_word(0, 0, false), std::memory_order_relaxed);
+  }
+
+  // Thread creation synchronizes-with the start of each worker, so the
+  // relaxed initialization above is visible to all of them.
+  std::vector<std::thread> workers;
+  workers.reserve(k);
+  for (std::uint32_t w = 0; w < k; ++w)
+    workers.emplace_back([this, w] { worker_loop(w); });
+
+  std::vector<std::uint64_t> scratch;
+  std::uint32_t gen = 0;
+  std::uint64_t ctl_events = 0;
+  for (;;) {
+    const Time tc = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
+    const Time limit = std::min(tc, deadline);
+    ctl_limit_.store(limit, std::memory_order_release);
+    Backoff wait;
+    while (!quiesced(gen, scratch)) wait.spin();
+    if (tc > deadline) break;
+
+    // Barrier: park every worker, fire exactly ONE control event on this
+    // thread (the park handshake gives it exclusive access), rewind every
+    // shard promise to the control time — the closure may have inserted
+    // shard events there, below previously published clocks — and resume
+    // with a fresh generation so stale idle reports can't be believed.
+    // Deferred worker cancels apply first: the event we stopped for may
+    // have been cancelled during the round, in which case nothing fires
+    // and the loop recomputes the limit.
+    park_workers();
+    drain_ctl_cancels();
+    const Time due = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
+    if (due <= limit) {
+      const EventQueue::Key key = ctl_q_.next_key();
+      now_ = key.time;
+      cur_lane_ = seq_lane(key.seq);
+      ctl_q_.fire_next(now_);
+      ++ctl_events;
+      cur_lane_ = control_lane_;
+    }
+    for (auto& s : shards_) s->eot.store(now_, std::memory_order_relaxed);
+    stop_acks_.store(0, std::memory_order_relaxed);
+    ctl_stop_.store(false, std::memory_order_relaxed);
+    ctl_gen_.fetch_add(1, std::memory_order_release);
+    ++gen;
+  }
+
+  park_workers();
+  done_.store(true, std::memory_order_release);
+  ctl_gen_.fetch_add(1, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  // Cancels deferred after the last barrier must not leak into a later
+  // serial run (where the target would otherwise fire).
+  drain_ctl_cancels();
+
+  std::uint64_t n = ctl_events;
+  for (auto& s : shards_) n += s->events;
+  now_ = deadline;
+  cur_lane_ = control_lane_;
   events_ += n;
   global_events_.fetch_add(n, std::memory_order_relaxed);
   return n;

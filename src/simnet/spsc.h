@@ -1,0 +1,89 @@
+// Bounded single-producer/single-consumer ring for cross-shard event
+// hand-off in the sharded (PDES) simulation kernel.
+//
+// One ring exists per ordered shard pair with finite lookahead; the
+// producer is the sending shard's worker thread, the consumer the
+// receiving shard's. Slots are preallocated at run_parallel() start and
+// recycled in place, so a steady-state hand-off performs zero heap
+// allocations — the pooled MessageEvent (and the shared Payload inside it)
+// moves through the ring exactly as it would move through the event queue.
+//
+// Memory order: the producer release-stores tail_ after constructing the
+// slot; the consumer acquire-loads tail_ before reading it, and
+// release-stores head_ after vacating it (the release pairs with the
+// producer's acquire-load of head_ so slot reuse never overlaps a read).
+// Ring-full is resolved by the caller (Simulator::at_message drains its own
+// inbound rings while waiting), never by growing.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "simnet/event_queue.h"
+
+namespace canopus::simnet {
+
+class SpscEventRing {
+ public:
+  struct Slot {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    MessageEvent ev;
+  };
+
+  explicit SpscEventRing(std::size_t capacity_pow2 = 1024)
+      : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    assert((capacity_pow2 & mask_) == 0 && capacity_pow2 >= 2);
+  }
+
+  /// Producer side. Precondition: !full().
+  void push(Time t, std::uint64_t seq, MessageEvent&& ev) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& s = slots_[tail & mask_];
+    s.time = t;
+    s.seq = seq;
+    s.ev = std::move(ev);
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Producer side; conservative (may briefly report full while the
+  /// consumer is mid-drain, never the reverse).
+  bool full() const {
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_acquire) >
+           mask_;
+  }
+
+  /// Consumer side: moves the oldest entry into `out` if one is pending.
+  bool try_pop(Slot& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    Slot& s = slots_[head & mask_];
+    out.time = s.time;
+    out.seq = s.seq;
+    out.ev = std::move(s.ev);
+    s.ev.reset();  // drop the payload reference before recycling the slot
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// True when the ring holds no entries. Racy by nature; exact only at a
+  /// quiescent point (the coordinator's double-read barrier protocol).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  // Head and tail on separate cache lines: each side spins on the other's
+  // counter without invalidating its own.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace canopus::simnet

@@ -1,5 +1,6 @@
 #include "simnet/topology.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -14,10 +15,11 @@ NodeId Topology::add_node(int rack, int dc) {
   return id;
 }
 
-LinkId Topology::add_link(Time latency, double bytes_per_ns) {
+LinkId Topology::add_link(Time latency, double bytes_per_ns, int site) {
   assert(latency >= 0 && bytes_per_ns > 0);
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(LinkSpec{latency, bytes_per_ns});
+  link_site_.push_back(site);
   return id;
 }
 
@@ -48,6 +50,92 @@ Time Topology::base_latency(NodeId a, NodeId b, std::size_t bytes) const {
   return t;
 }
 
+Time Topology::min_cut_latency(const ShardMap& map, std::uint32_t a,
+                               std::uint32_t b) const {
+  Time best = kTimeInf;
+  const std::size_t n = num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::vector<LinkId>& p = path(s, d);
+      for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+        // Only true crossings: consecutive links in the SAME shard (always
+        // when a == b, and under folded maps even across sites) are plain
+        // local scheduling, not a hand-off.
+        if (map.link_shard[p[h]] != map.link_shard[p[h + 1]] &&
+            map.link_shard[p[h]] == a && map.link_shard[p[h + 1]] == b)
+          best = std::min(best, links_[p[h]].latency);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Time> min_cut_matrix(const Topology& topo, const ShardMap& map) {
+  const std::size_t k = map.num_shards;
+  std::vector<Time> m(k * k, kTimeInf);
+  const std::size_t n = topo.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::vector<LinkId>& p = topo.path(s, d);
+      for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+        const std::uint32_t a = map.link_shard[p[h]];
+        const std::uint32_t b = map.link_shard[p[h + 1]];
+        if (a != b)
+          m[a * k + b] = std::min(m[a * k + b], topo.link(p[h]).latency);
+      }
+    }
+  }
+  return m;
+}
+
+ShardMap make_shard_map(const Topology& topo, unsigned requested) {
+  // Sites are the builders' locality groups: rack_of covers both builders
+  // (build_multi_dc assigns rack == dc).
+  int max_site = 0;
+  for (NodeId i = 0; i < topo.num_nodes(); ++i)
+    max_site = std::max(max_site, topo.rack_of(i));
+  for (LinkId l = 0; l < topo.num_links(); ++l)
+    max_site = std::max(max_site, topo.site_of_link(l));
+  const unsigned sites = static_cast<unsigned>(max_site) + 1;
+
+  ShardMap map;
+  map.num_shards = std::max(1u, std::min(requested, sites));
+  map.node_shard.resize(topo.num_nodes());
+  map.link_shard.resize(topo.num_links());
+  for (NodeId i = 0; i < topo.num_nodes(); ++i)
+    map.node_shard[i] =
+        static_cast<std::uint32_t>(topo.rack_of(i)) % map.num_shards;
+  for (LinkId l = 0; l < topo.num_links(); ++l)
+    map.link_shard[l] =
+        static_cast<std::uint32_t>(topo.site_of_link(l)) % map.num_shards;
+
+  // Conservative-PDES validity: the send event (source node) must own the
+  // first hop, the delivery event (destination node) the last hop, and any
+  // crossing in between carries the crossed link's latency as lookahead —
+  // which therefore must be positive.
+  const std::size_t n = topo.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::vector<LinkId>& p = topo.path(s, d);
+      if (p.empty()) continue;
+      if (map.link_shard[p.front()] != map.node_shard[s] ||
+          map.link_shard[p.back()] != map.node_shard[d])
+        throw std::invalid_argument(
+            "shard map: path endpoints not owned by their node's shard");
+      for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+        if (map.link_shard[p[h]] != map.link_shard[p[h + 1]] &&
+            topo.link(p[h]).latency <= 0)
+          throw std::invalid_argument(
+              "shard map: zero-latency shard crossing (no lookahead)");
+      }
+    }
+  }
+  return map;
+}
+
 Cluster build_multi_rack(const RackConfig& cfg) {
   Cluster c;
   Topology& t = c.topo;
@@ -59,15 +147,15 @@ Cluster build_multi_rack(const RackConfig& cfg) {
   std::vector<LinkId> agg_up(cfg.racks), agg_down(cfg.racks);
 
   for (int r = 0; r < cfg.racks; ++r) {
-    agg_up[r] = t.add_link(cfg.uplink_latency, gbps(cfg.uplink_gbps));
-    agg_down[r] = t.add_link(cfg.uplink_latency, gbps(cfg.uplink_gbps));
+    agg_up[r] = t.add_link(cfg.uplink_latency, gbps(cfg.uplink_gbps), r);
+    agg_down[r] = t.add_link(cfg.uplink_latency, gbps(cfg.uplink_gbps), r);
   }
 
   auto add_machine = [&](int rack) {
     const NodeId id = t.add_node(rack, /*dc=*/0);
     node_links.push_back(NodeLinks{
-        t.add_link(cfg.nic_latency, gbps(cfg.nic_gbps)),
-        t.add_link(cfg.nic_latency, gbps(cfg.nic_gbps)),
+        t.add_link(cfg.nic_latency, gbps(cfg.nic_gbps), rack),
+        t.add_link(cfg.nic_latency, gbps(cfg.nic_gbps), rack),
     });
     return id;
   };
@@ -117,8 +205,8 @@ Cluster build_multi_dc(const WanConfig& cfg) {
   auto add_machine = [&](int dc) {
     const NodeId id = t.add_node(/*rack=*/dc, dc);
     node_links.push_back(NodeLinks{
-        t.add_link(edge_latency(dc), gbps(cfg.nic_gbps)),
-        t.add_link(edge_latency(dc), gbps(cfg.nic_gbps)),
+        t.add_link(edge_latency(dc), gbps(cfg.nic_gbps), dc),
+        t.add_link(edge_latency(dc), gbps(cfg.nic_gbps), dc),
     });
     return id;
   };
@@ -142,7 +230,10 @@ Cluster build_multi_dc(const WanConfig& cfg) {
       Time one_way = static_cast<Time>(rtt / 2.0 * kMillisecond) -
                      edge_latency(i) - edge_latency(j);
       if (one_way < 0) one_way = 0;
-      wan[i][j] = t.add_link(one_way, gbps(cfg.wan_gbps));
+      // Owned by the SOURCE datacenter: the wan-link arrival event (which
+      // schedules the next hop into the destination shard) executes in the
+      // sender's shard, making the wan latency the cross-shard lookahead.
+      wan[i][j] = t.add_link(one_way, gbps(cfg.wan_gbps), i);
     }
   }
 

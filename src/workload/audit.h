@@ -42,6 +42,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -109,8 +110,19 @@ class HistoryAuditor {
 
   /// Records a completion observed by client `client` from server index
   /// `server` at time `now`.
+  ///
+  /// Thread safety under the sharded kernel: replies fire on the observing
+  /// client's shard, so different clients may call this concurrently — the
+  /// mutex guards the shared append-only vectors. Every check that consumes
+  /// them is order-independent across sessions (acked_ feeds a set-membership
+  /// test; the read checks are per (client, server, key) session, and one
+  /// client's replies always arrive on one shard in time order), so sharded
+  /// and serial runs produce identical verdicts. note_commit needs no lock:
+  /// nodes_[i] is appended only by node i's owning shard, and the prefix
+  /// probes run at control barriers with every worker parked.
   void note_reply(std::size_t client, std::size_t server,
                   const kv::Completion& c, Time now) {
+    std::lock_guard<std::mutex> lock(reply_mu_);
     if (c.is_write) {
       acked_.push_back({wid(c.id), now});
     } else {
@@ -336,6 +348,7 @@ class HistoryAuditor {
                                                     ///< i * num_nodes + j
   std::vector<Acked> acked_;
   std::vector<Read> reads_;
+  std::mutex reply_mu_;
   std::vector<AuditViolation> recorded_;
   std::uint64_t total_ = 0;
 

@@ -71,13 +71,18 @@ class ChaosRecorder final : public PhasedRecorder {
   explicit ChaosRecorder(const FaultTiming& ft)
       : PhasedRecorder(ft), storm_end_(ft.heal_at) {}
 
-  void complete(Time now, Time arrival) override {
-    PhasedRecorder::complete(now, arrival);
-    if (arrival >= storm_end_ && first_after_ < 0) first_after_ = now;
-  }
-
   /// Completion time of the first post-storm arrival; -1 if none completed.
   Time first_post_storm_completion() const { return first_after_; }
+
+ protected:
+  void on_complete(Time now, Time arrival) override {
+    PhasedRecorder::on_complete(now, arrival);
+    // Min over qualifying completions (not first-seen): shard workers may
+    // deliver same-phase completions in any order, and min() is the unique
+    // order-independent formulation that matches the serial answer.
+    if (arrival >= storm_end_ && (first_after_ < 0 || now < first_after_))
+      first_after_ = now;
+  }
 
  private:
   Time storm_end_;
@@ -135,6 +140,9 @@ inline ChaosResult run_chaos_trial(const TrialConfig& tc,
   simnet::Simulator sim(trial_seed);
 
   simnet::Cluster cluster = build_cluster(tc);
+  if (tc.sim_threads > 1)
+    sim.configure_shards(cluster.topo,
+                         simnet::make_shard_map(cluster.topo, tc.sim_threads));
   simnet::Network net(sim, cluster.topo, tc.cpu);
   std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
 
@@ -162,7 +170,10 @@ inline ChaosResult run_chaos_trial(const TrialConfig& tc,
   const simnet::FaultSchedule storm = gen.generate(cc, cluster.servers);
   arm_via_service(storm, net, *service);
 
-  sim.run_until(ft.end_at + ft.drain);
+  if (tc.sim_threads > 1)
+    sim.run_parallel_until(ft.end_at + ft.drain);
+  else
+    sim.run_until(ft.end_at + ft.drain);
   auditor.finalize(sim.now());
 
   ChaosResult res;

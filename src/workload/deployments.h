@@ -61,6 +61,12 @@ struct TrialConfig {
 
   std::uint64_t seed = 1;
 
+  /// Intra-trial parallelism: number of shard worker threads for the
+  /// conservative PDES kernel (1 = classic serial run). Output is
+  /// bit-identical either way — the lane-sequence discipline makes event
+  /// order independent of the shard map (see DESIGN.md §10).
+  unsigned sim_threads = 1;
+
   /// Per-node processing costs. The defaults are calibrated (see
   /// EXPERIMENTS.md) so a single node tops out at a few hundred thousand
   /// requests/second — the regime of the paper's testbed — making the CPU
@@ -174,6 +180,9 @@ inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
   simnet::Simulator sim(trial_seed);
 
   simnet::Cluster cluster = build_cluster(tc);
+  if (tc.sim_threads > 1)
+    sim.configure_shards(cluster.topo,
+                         simnet::make_shard_map(cluster.topo, tc.sim_threads));
   simnet::Network net(sim, cluster.topo, tc.cpu);
 
   std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
@@ -183,7 +192,11 @@ inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
   auto clients = attach_clients(tc, cluster, net, recorder, offered_rate,
                                 trial_seed, tc.warmup + tc.measure);
 
-  sim.run_until(tc.warmup + tc.measure + tc.drain);
+  const Time deadline = tc.warmup + tc.measure + tc.drain;
+  if (tc.sim_threads > 1)
+    sim.run_parallel_until(deadline);
+  else
+    sim.run_until(deadline);
   return measure(*recorder, offered_rate);
 }
 

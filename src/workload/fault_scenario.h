@@ -169,21 +169,25 @@ class PhasedRecorder : public LatencyRecorder {
     after_.set_window(ft.heal_at, ft.end_at);
   }
 
-  void complete(Time now, Time arrival) override {
+  const LatencyRecorder& before() const { return before_; }
+  const LatencyRecorder& during() const { return during_; }
+  const LatencyRecorder& after() const { return after_; }
+
+ protected:
+  // The phase recorders' own locks are uncontended here (all calls arrive
+  // under the outer recorder's mutex), and windowing by arrival keeps the
+  // split order-independent.
+  void on_complete(Time now, Time arrival) override {
     before_.complete(now, arrival);
     during_.complete(now, arrival);
     after_.complete(now, arrival);
   }
 
-  void fail(Time arrival) override {
+  void on_fail(Time arrival) override {
     before_.fail(arrival);
     during_.fail(arrival);
     after_.fail(arrival);
   }
-
-  const LatencyRecorder& before() const { return before_; }
-  const LatencyRecorder& during() const { return during_; }
-  const LatencyRecorder& after() const { return after_; }
 
  private:
   LatencyRecorder before_, during_, after_;
@@ -259,6 +263,9 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   simnet::Simulator sim(trial_seed);
 
   simnet::Cluster cluster = build_cluster(tc);
+  if (tc.sim_threads > 1)
+    sim.configure_shards(cluster.topo,
+                         simnet::make_shard_map(cluster.topo, tc.sim_threads));
   simnet::Network net(sim, cluster.topo, tc.cpu);
   std::unique_ptr<ConsensusService> service = make_service(tc, cluster, net);
 
@@ -307,7 +314,10 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   }
   arm_via_service(sched, net, *service);
 
-  sim.run_until(ft.end_at + ft.drain);
+  if (tc.sim_threads > 1)
+    sim.run_parallel_until(ft.end_at + ft.drain);
+  else
+    sim.run_until(ft.end_at + ft.drain);
 
   // --- availability ------------------------------------------------------
   res.before = measure(recorder->before(), offered_rate);

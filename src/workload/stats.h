@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -88,8 +89,15 @@ class LatencyHistogram {
 };
 
 /// Shared sink for client-side completions within a measurement window.
-/// `complete` is virtual so fault-scenario runs can substitute a sink that
-/// splits completions into per-phase windows (workload/fault_scenario.h).
+///
+/// The public complete()/fail() entry points serialize on a mutex and then
+/// invoke the protected on_complete()/on_fail() hooks — fault-scenario and
+/// chaos runs override the hooks to split completions into per-phase
+/// windows (workload/fault_scenario.h, workload/chaos.h). The mutex exists
+/// for the sharded simulation kernel: clients in different shards report
+/// concurrently, and everything the hooks accumulate (histogram buckets,
+/// counters, per-phase minima) is order-independent, so the aggregate is
+/// bit-identical to a serial run no matter how the lock interleaves.
 class LatencyRecorder {
  public:
   virtual ~LatencyRecorder() = default;
@@ -106,9 +114,9 @@ class LatencyRecorder {
 
   /// Records a completion observed at `now` for a request that arrived at
   /// `arrival`; only arrivals inside the window count (steady state).
-  virtual void complete(Time now, Time arrival) {
-    if (arrival < begin_ || arrival >= end_) return;
-    hist_.record(now - arrival);
+  void complete(Time now, Time arrival) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_complete(now, arrival);
   }
 
   /// Records a request that FAILED at submission — the client knows it will
@@ -116,9 +124,9 @@ class LatencyRecorder {
   /// would be black-holed). Windowed by arrival like complete(), so fault
   /// benches report honest per-phase failure counts instead of silently
   /// folding client-visible failures into "never completed".
-  virtual void fail(Time arrival) {
-    if (arrival < begin_ || arrival >= end_) return;
-    ++failed_;
+  void fail(Time arrival) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_fail(arrival);
   }
 
   const LatencyHistogram& histogram() const { return hist_; }
@@ -131,11 +139,26 @@ class LatencyRecorder {
     return s > 0 ? static_cast<double>(hist_.count()) / s : 0;
   }
 
+ protected:
+  /// Hooks run under the recorder mutex. Overrides must only perform
+  /// order-independent accumulation (sums, counts, minima) so sharded and
+  /// serial runs agree bit-for-bit.
+  virtual void on_complete(Time now, Time arrival) {
+    if (arrival < begin_ || arrival >= end_) return;
+    hist_.record(now - arrival);
+  }
+
+  virtual void on_fail(Time arrival) {
+    if (arrival < begin_ || arrival >= end_) return;
+    ++failed_;
+  }
+
  private:
   Time begin_ = 0;
   Time end_ = 0;
   LatencyHistogram hist_;
   std::uint64_t failed_ = 0;
+  std::mutex mu_;
 };
 
 }  // namespace canopus::workload

@@ -241,6 +241,102 @@ TEST(EventQueue, CancellingClosuresDoesNotDisturbMessageEvents) {
   for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(target.fired[i].second, i);
 }
 
+// --------------------------------------------------------------------------
+// Lane-sequence discipline (ISSUE 6): the sharded kernel encodes an event's
+// source lane in the high bits of the explicit tie-break seq,
+// (lane << 40) | per-lane-counter. These tests pin the cross-shard contract:
+// at equal times, events order by lane then by per-lane schedule order, and
+// that order is a property of the KEYS alone — merging several queues by
+// next_key() reproduces the single-queue order exactly, which is what makes
+// parallel execution bit-identical to serial.
+// --------------------------------------------------------------------------
+
+constexpr std::uint64_t lane_seq(std::uint32_t lane, std::uint64_t ctr) {
+  return (static_cast<std::uint64_t>(lane) << 40) | ctr;
+}
+
+TEST(EventQueue, LaneSeqTieBreakIsInsertionOrderIndependent) {
+  // Schedule equal-time events from three lanes in scrambled insertion
+  // order; they must pop lane-major, counter-minor.
+  EventQueue q;
+  std::vector<int> order;
+  auto ev = [&](int label) {
+    return [&order, label] { order.push_back(label); };
+  };
+  q.schedule(5, lane_seq(2, 1), ev(21));
+  q.schedule(5, lane_seq(0, 2), ev(2));
+  q.schedule(5, lane_seq(1, 1), ev(11));
+  q.schedule(5, lane_seq(0, 1), ev(1));
+  q.schedule(5, lane_seq(2, 2), ev(22));
+  q.schedule(5, lane_seq(1, 2), ev(12));
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12, 21, 22}));
+}
+
+TEST(EventQueue, ControlLaneLosesAllTimeTies) {
+  // The simulator assigns the control plane the numerically LARGEST lane,
+  // so at equal times every node/link event fires before any control
+  // event — the parallel coordinator can run control events at a global
+  // barrier without reordering anything.
+  EventQueue q;
+  std::vector<int> order;
+  const std::uint32_t control = 0xFFFF;
+  q.schedule(7, lane_seq(control, 1), [&] { order.push_back(99); });
+  q.schedule(7, lane_seq(3, 7), [&] { order.push_back(3); });
+  q.schedule(7, lane_seq(control - 1, 1), [&] { order.push_back(98); });
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(order, (std::vector<int>{3, 98, 99}));
+}
+
+TEST(EventQueue, MergingQueuesByKeyReproducesSingleQueueOrder) {
+  // The serial loop merges N shard queues by next_key(); the parallel
+  // kernel executes each queue independently under the lookahead bound.
+  // Both orders coincide because keys are globally unique and each lane
+  // lives in exactly one queue. Simulate the merge over a shard split and
+  // check it equals the order of one queue holding everything.
+  struct Step {
+    Time t;
+    std::uint32_t lane;
+    std::uint64_t ctr;
+    int label;
+  };
+  const std::vector<Step> steps{
+      {10, 0, 1, 1}, {10, 1, 1, 2},  {10, 2, 1, 3},  {15, 1, 2, 4},
+      {15, 0, 2, 5}, {20, 2, 2, 6},  {20, 2, 3, 7},  {20, 0, 3, 8},
+      {25, 1, 3, 9}, {25, 0, 4, 10}, {25, 2, 4, 11},
+  };
+
+  EventQueue all;
+  std::vector<int> serial;
+  for (const Step& s : steps)
+    all.schedule(s.t, lane_seq(s.lane, s.ctr),
+                 [&serial, label = s.label] { serial.push_back(label); });
+  while (!all.empty()) all.pop().fire();
+
+  // Shard split: lane 0 -> shard A, lanes 1 and 2 -> shard B.
+  EventQueue a, b;
+  std::vector<int> merged;
+  for (const Step& s : steps)
+    (s.lane == 0 ? a : b).schedule(
+        s.t, lane_seq(s.lane, s.ctr),
+        [&merged, label = s.label] { merged.push_back(label); });
+  while (!a.empty() || !b.empty()) {
+    EventQueue* next;
+    if (a.empty())
+      next = &b;
+    else if (b.empty())
+      next = &a;
+    else
+      next = a.next_key() < b.next_key() ? &a : &b;
+    next->pop().fire();
+  }
+
+  // serial == sorted-by-(time, lane, ctr) == the cross-queue merge.
+  EXPECT_EQ(serial,
+            (std::vector<int>{1, 2, 3, 5, 4, 8, 6, 7, 10, 9, 11}));
+  EXPECT_EQ(merged, serial);
+}
+
 TEST(EventQueue, MoveOnlyCaptureIsAccepted) {
   // std::function required copyable captures; InlineFn must not.
   EventQueue q;

@@ -112,5 +112,144 @@ TEST(Topology, DcAssignment) {
   EXPECT_EQ(c.topo.dc_of(c.clients[1]), 1);
 }
 
+// --------------------------------------------------------------------------
+// Shard maps + PDES lookahead (ISSUE 6): make_shard_map partitions sites,
+// min_cut_latency is the conservative lookahead between shard pairs.
+// --------------------------------------------------------------------------
+
+TEST(ShardMap, MultiRackClampsToSiteCount) {
+  Cluster c = build_multi_rack({});  // 3 racks
+  ShardMap m = make_shard_map(c.topo, 8);
+  EXPECT_EQ(m.num_shards, 3u);
+  for (NodeId n = 0; n < c.topo.num_nodes(); ++n)
+    EXPECT_EQ(m.node_shard[n], static_cast<std::uint32_t>(c.topo.rack_of(n)));
+}
+
+TEST(ShardMap, MultiRackFoldsSitesRoundRobin) {
+  Cluster c = build_multi_rack({});  // 3 racks
+  ShardMap m = make_shard_map(c.topo, 2);
+  EXPECT_EQ(m.num_shards, 2u);
+  for (NodeId n = 0; n < c.topo.num_nodes(); ++n)
+    EXPECT_EQ(m.node_shard[n],
+              static_cast<std::uint32_t>(c.topo.rack_of(n)) % 2u);
+  for (LinkId l = 0; l < c.topo.num_links(); ++l)
+    EXPECT_EQ(m.link_shard[l],
+              static_cast<std::uint32_t>(c.topo.site_of_link(l)) % 2u);
+}
+
+TEST(ShardMap, ZeroRequestedShardsStillYieldsOne) {
+  Cluster c = build_multi_rack({});
+  EXPECT_EQ(make_shard_map(c.topo, 0).num_shards, 1u);
+}
+
+TEST(ShardMap, MultiRackMinCutIsUplinkLatency) {
+  // The only shard-crossing hand-off in the rack fabric is the sender
+  // rack's aggregation uplink: its arrival event schedules the downlink
+  // hop in the destination rack's shard. Its latency is the lookahead.
+  RackConfig cfg;
+  cfg.uplink_latency = 2'000;
+  Cluster c = build_multi_rack(cfg);
+  ShardMap m = make_shard_map(c.topo, 3);
+  for (std::uint32_t a = 0; a < 3; ++a)
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if (a == b)
+        EXPECT_EQ(c.topo.min_cut_latency(m, a, b), kTimeInf);  // no crossing
+      else
+        EXPECT_EQ(c.topo.min_cut_latency(m, a, b), cfg.uplink_latency);
+    }
+}
+
+TEST(ShardMap, MultiDcMinCutIsWanOneWay) {
+  // WAN links are owned by the SOURCE datacenter, so the dc-a -> dc-b
+  // crossing happens at the WAN link itself: one-way latency = rtt/2 minus
+  // the two DC-edge hops (rtt_ii/4 each).
+  WanConfig cfg;
+  cfg.servers_per_dc = {3, 3, 3};
+  cfg.rtt_ms = table1_rtt_ms();
+  Cluster c = build_multi_dc(cfg);
+  ShardMap m = make_shard_map(c.topo, 3);
+
+  auto edge = [&](int dc) {
+    return static_cast<Time>(cfg.rtt_ms[static_cast<std::size_t>(dc)]
+                                       [static_cast<std::size_t>(dc)] /
+                             4.0 * kMillisecond);
+  };
+  auto wan_one_way = [&](int i, int j) {
+    return static_cast<Time>(cfg.rtt_ms[static_cast<std::size_t>(i)]
+                                       [static_cast<std::size_t>(j)] /
+                             2.0 * kMillisecond) -
+           edge(i) - edge(j);
+  };
+  // IR -> CA: 133/2 ms minus the 0.05 ms edges on both sides.
+  EXPECT_EQ(c.topo.min_cut_latency(m, 0, 1), wan_one_way(0, 1));
+  EXPECT_EQ(c.topo.min_cut_latency(m, 1, 0), wan_one_way(1, 0));
+  EXPECT_EQ(c.topo.min_cut_latency(m, 1, 2), wan_one_way(1, 2));
+  // WAN lookahead dwarfs the rack fabric's: tens of milliseconds.
+  EXPECT_GT(c.topo.min_cut_latency(m, 0, 1), 60 * kMillisecond);
+}
+
+TEST(ShardMap, MinCutMatrixMatchesPairwiseScan) {
+  WanConfig cfg;
+  cfg.servers_per_dc = {2, 2, 2, 2};
+  cfg.rtt_ms = table1_rtt_ms();
+  Cluster c = build_multi_dc(cfg);
+  ShardMap m = make_shard_map(c.topo, 4);
+  const std::vector<Time> mat = min_cut_matrix(c.topo, m);
+  ASSERT_EQ(mat.size(), 16u);
+  for (std::uint32_t a = 0; a < 4; ++a)
+    for (std::uint32_t b = 0; b < 4; ++b)
+      EXPECT_EQ(mat[a * 4 + b], c.topo.min_cut_latency(m, a, b))
+          << a << "->" << b;
+}
+
+TEST(ShardMap, FoldedMapKeepsPositiveLookaheadBetweenDistinctShards) {
+  // Folding 3 racks onto 2 shards puts racks 0 and 2 in shard 0; their
+  // mutual traffic is intra-shard (no crossing), while every inter-shard
+  // pair still crosses an uplink.
+  Cluster c = build_multi_rack({});
+  ShardMap m = make_shard_map(c.topo, 2);
+  const std::vector<Time> mat = min_cut_matrix(c.topo, m);
+  EXPECT_EQ(mat[0 * 2 + 0], kTimeInf);
+  EXPECT_EQ(mat[1 * 2 + 1], kTimeInf);
+  EXPECT_GT(mat[0 * 2 + 1], 0);
+  EXPECT_LT(mat[0 * 2 + 1], kTimeInf);
+  EXPECT_GT(mat[1 * 2 + 0], 0);
+  EXPECT_LT(mat[1 * 2 + 0], kTimeInf);
+}
+
+TEST(ShardMap, ZeroLatencyCrossingIsRejected) {
+  // A hand-off along a zero-latency link would mean zero lookahead — the
+  // conservative kernel could deadlock-or-block forever, so make_shard_map
+  // must refuse the partition outright.
+  Topology t;
+  const NodeId a = t.add_node(/*rack=*/0, 0);
+  const NodeId b = t.add_node(/*rack=*/1, 0);
+  const LinkId l0 = t.add_link(/*latency=*/0, gbps(10.0), /*site=*/0);
+  const LinkId l1 = t.add_link(/*latency=*/1'000, gbps(10.0), /*site=*/1);
+  t.set_path(a, b, {l0, l1});
+  EXPECT_THROW(make_shard_map(t, 2), std::invalid_argument);
+  // The same wiring with a positive crossing latency is accepted.
+  Topology ok;
+  const NodeId oa = ok.add_node(0, 0);
+  const NodeId ob = ok.add_node(1, 0);
+  const LinkId k0 = ok.add_link(500, gbps(10.0), 0);
+  const LinkId k1 = ok.add_link(1'000, gbps(10.0), 1);
+  ok.set_path(oa, ob, {k0, k1});
+  ShardMap m = make_shard_map(ok, 2);
+  EXPECT_EQ(ok.min_cut_latency(m, 0, 1), 500);
+}
+
+TEST(ShardMap, ForeignPathEndpointIsRejected) {
+  // A path whose first hop is owned by a different shard than its source
+  // node would make the send event emit into a queue the sender's worker
+  // does not own.
+  Topology t;
+  const NodeId a = t.add_node(0, 0);
+  const NodeId b = t.add_node(1, 0);
+  const LinkId wrong = t.add_link(1'000, gbps(10.0), /*site=*/1);
+  t.set_path(a, b, {wrong});
+  EXPECT_THROW(make_shard_map(t, 2), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace canopus::simnet

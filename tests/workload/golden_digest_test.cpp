@@ -26,12 +26,16 @@ struct Golden {
   std::uint64_t events;
 };
 
-// Captured at commit 4b75f59 (pre-rewrite) with the exact setup below.
+// Captured with the exact setup below. Re-pinned for the sharded-kernel
+// lane-sequence discipline (ISSUE 6): per-lane tie-break order and per-node
+// protocol RNG streams legitimately change the commit interleaving — note
+// that write/read/message/byte/event COUNTS are identical to the previous
+// pins; only the fingerprints (commit order) moved.
 constexpr Golden kGolden[] = {
-    {System::kCanopus, 0xa8dec9dcc918f031ULL, 3449, 379, 283070, 23604000,
+    {System::kCanopus, 0xde8dddc1563f3495ULL, 3449, 379, 283070, 23604000,
      1191785},
-    {System::kRaft, 0xc5bb842af0672a79ULL, 3449, 379, 24525, 2769768, 127983},
-    {System::kZab, 0x56a59c42b707fc9ULL, 3449, 379, 21091, 2193240, 106467},
+    {System::kRaft, 0x724ce4fdb652aa85ULL, 3449, 379, 24525, 2769768, 127983},
+    {System::kZab, 0x888cd687c8edd219ULL, 3449, 379, 21091, 2193240, 106467},
     {System::kEPaxos, 0xa229fc217f2eb3a2ULL, 3449, 379, 22406, 3751440,
      122348},
 };
@@ -107,9 +111,9 @@ struct ChaosGolden {
 // comparable and some tail acks are never delivered; the quorum systems
 // recover everyone.
 constexpr ChaosGolden kChaosGolden[] = {
-    {System::kCanopus, 8, 0xae51ca73fb0b0c98ULL, 4361, 4146, 6},
-    {System::kRaft, 8, 0x6c07f98c1506a95eULL, 7000, 7000, 9},
-    {System::kZab, 8, 0x15204ca296a80093ULL, 7003, 7003, 9},
+    {System::kCanopus, 8, 0x87de66df97114f0cULL, 4625, 4472, 6},
+    {System::kRaft, 8, 0xdcb573c33108525eULL, 7000, 7000, 9},
+    {System::kZab, 8, 0xe5f8bb1970db615fULL, 7003, 7003, 9},
     {System::kEPaxos, 8, 0x7354716838e20d9fULL, 7452, 7452, 9},
 };
 
