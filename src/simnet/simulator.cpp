@@ -22,7 +22,9 @@
 // provably idle below the next control time (gen-stamped states + empty
 // rings, double-read for stability), parks the workers, fires exactly one
 // control event on its own thread, rewinds every shard promise to that
-// time, and resumes. One event per barrier keeps the time-tie order
+// time, publishes the next control limit, and only then resumes (a worker
+// can never observe a generation without the limit its idle bits must be
+// judged against). One event per barrier keeps the time-tie order
 // right: shard events a control closure inserts at time T must run before
 // a second control event at T, because the control lane is the largest
 // lane and loses every tie.
@@ -346,10 +348,11 @@ std::uint64_t Simulator::run_parallel_until(Time deadline) {
   stop_acks_.store(0, std::memory_order_relaxed);
   ctl_stop_.store(false, std::memory_order_relaxed);
   done_.store(false, std::memory_order_relaxed);
-  {
-    const Time tc0 = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
-    ctl_limit_.store(std::min(tc0, deadline), std::memory_order_relaxed);
-  }
+  // The control queue only changes at barriers (workers defer cancels and
+  // never schedule control events), so tc stays valid from its publication
+  // here / at the end of a barrier until the next barrier.
+  Time tc = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
+  ctl_limit_.store(std::min(tc, deadline), std::memory_order_relaxed);
   for (auto& s : shards_) {
     s->events = 0;
     s->eot.store(now_, std::memory_order_relaxed);
@@ -367,9 +370,10 @@ std::uint64_t Simulator::run_parallel_until(Time deadline) {
   std::uint32_t gen = 0;
   std::uint64_t ctl_events = 0;
   for (;;) {
-    const Time tc = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
-    const Time limit = std::min(tc, deadline);
-    ctl_limit_.store(limit, std::memory_order_release);
+    // The limit for the current generation was published before the
+    // workers could observe the generation (pre-spawn for gen 0, inside
+    // the previous barrier otherwise), so every idle bit stamped with
+    // `gen` was computed against exactly min(tc, deadline).
     Backoff wait;
     while (!quiesced(gen, scratch)) wait.spin();
     if (tc > deadline) break;
@@ -381,9 +385,10 @@ std::uint64_t Simulator::run_parallel_until(Time deadline) {
     // with a fresh generation so stale idle reports can't be believed.
     // Deferred worker cancels apply first: the event we stopped for may
     // have been cancelled during the round, in which case nothing fires
-    // and the loop recomputes the limit.
+    // and the barrier recomputes the limit.
     park_workers();
     drain_ctl_cancels();
+    const Time limit = std::min(tc, deadline);
     const Time due = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
     if (due <= limit) {
       const EventQueue::Key key = ctl_q_.next_key();
@@ -396,6 +401,17 @@ std::uint64_t Simulator::run_parallel_until(Time deadline) {
     for (auto& s : shards_) s->eot.store(now_, std::memory_order_relaxed);
     stop_acks_.store(0, std::memory_order_relaxed);
     ctl_stop_.store(false, std::memory_order_relaxed);
+    // Publish the NEXT generation's limit BEFORE resuming: the release
+    // fetch_add orders the store, and a parked worker leaves only via an
+    // acquire read of the bumped generation, so any worker executing under
+    // the new gen is guaranteed to see the new limit. Storing it after the
+    // resume (as a loop-top store would) lets a fast worker stamp the new
+    // generation idle against the STALE limit; once the larger limit
+    // landed, quiesced() would trust that word and the coordinator could
+    // fire the next control event — or break out — with shard events in
+    // (old limit, new limit] still pending.
+    tc = ctl_q_.empty() ? kTimeInf : ctl_q_.next_time();
+    ctl_limit_.store(std::min(tc, deadline), std::memory_order_release);
     ctl_gen_.fetch_add(1, std::memory_order_release);
     ++gen;
   }

@@ -46,6 +46,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -218,8 +219,11 @@ class Simulator {
   std::uint64_t lane_seq(std::uint32_t lane) {
     assert(lane < lane_ctr_.size());
     // Pre-increment: seq 0 is the queue's disarmed-slot sentinel, so the
-    // first seq on lane 0 must be 1, not 0.
-    return (static_cast<std::uint64_t>(lane) << 40) | ++lane_ctr_[lane];
+    // first seq on lane 0 must be 1, not 0. A counter past 2^40 would
+    // bleed into the lane bits and corrupt the (time, seq) tie-break.
+    const std::uint64_t n = ++lane_ctr_[lane];
+    assert((n >> 40) == 0 && "per-lane seq counter overflowed lane packing");
+    return (static_cast<std::uint64_t>(lane) << 40) | n;
   }
   static std::uint32_t seq_lane(std::uint64_t seq) {
     return static_cast<std::uint32_t>(seq >> 40);
@@ -354,8 +358,13 @@ inline void Simulator::cancel(EventId id) {
     return;
   }
   // Timers are lane-local, so a worker only ever cancels events in its own
-  // shard's queue; control-context cancels happen at barriers.
-  assert(tl_ctx_.sim != this || tag == tl_ctx_.shard);
+  // shard's queue; control-context cancels happen at barriers. A foreign
+  // tag here would race the owning worker's queue (heap corruption), so
+  // fail hard even in release rather than cancel concurrently.
+  if (tl_ctx_.sim == this && tag != tl_ctx_.shard) {
+    assert(false && "worker cancel targets an event owned by another shard");
+    std::abort();
+  }
   EventQueue& q = tag == kCtlTag ? ctl_q_ : shards_[tag]->q;
   q.cancel(id & kIdMask);
 }
