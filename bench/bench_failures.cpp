@@ -16,7 +16,15 @@
 // The trial matrix runs on the shared TrialPool; every trial builds an
 // isolated simulator from a derived seed, so results are bit-identical to
 // a serial run regardless of --threads.
+//
+// --wan switches to geo-failover mode (BENCH_failures_wan.json): the
+// Table 1 multi-DC topology, and the scenarios kill a WHOLE datacenter —
+// first DC 0 (taking the Zab/Raft leader), then DC 1 — reporting the
+// client-observed failover time (first post-fault write completion) and
+// per-phase availability. A dead DC is a dead super-leaf, so Canopus must
+// stall, by design; quorum systems must fail over.
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.h"
@@ -25,14 +33,26 @@
 int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
-  bench::Harness h(argc, argv, "failures",
-                   "Failure scenarios: availability + safety per system",
-                   "Sec 6 (liveness under failures); no paper figure");
+  bool wan = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--wan") wan = true;
+  bench::Harness h(
+      argc, argv, wan ? "failures_wan" : "failures",
+      wan ? "Geo-failover: whole-datacenter outage on the Table 1 topology"
+          : "Failure scenarios: availability + safety per system",
+      wan ? "Sec 8.2 topology (Table 1); no paper figure"
+          : "Sec 6 (liveness under failures); no paper figure");
   const bool quick = h.quick();
 
   const int groups = 3, per_group = 3;
   FaultTiming ft;
-  if (!quick) {  // longer phases tighten the availability estimates
+  if (wan) {  // WAN phases must dwarf the 80+ ms inter-DC round trips
+    ft.warmup = 500 * kMillisecond;
+    ft.fault_at = 1'500 * kMillisecond;
+    ft.heal_at = 3'000 * kMillisecond;
+    ft.end_at = 4'500 * kMillisecond;
+    ft.drain = 1'000 * kMillisecond;
+  } else if (!quick) {  // longer phases tighten the availability estimates
     ft.fault_at = 1'300 * kMillisecond;
     ft.heal_at = 2'600 * kMillisecond;
     ft.end_at = 3'900 * kMillisecond;
@@ -45,11 +65,25 @@ int main(int argc, char** argv) {
   base.per_group = per_group;
   base.client_machines = 2;
   base.warmup = ft.warmup;
-  base = fault_tuned(base);
-  const double rate = 20'000;
+  if (wan) {
+    // Deep repair windows so a DC dark for 1.5 s can rejoin, but the
+    // DEFAULT retry timers: fault_tuned's 25 ms retries are rack-scale
+    // tunings that would thrash 80+ ms WAN round trips.
+    base.wan = true;
+    base.zab.history_depth = 16'384;
+    base.epaxos.repair_window = 16'384;
+  } else {
+    base = fault_tuned(base);
+  }
+  const double rate = wan ? 6'000 : 20'000;
 
-  const std::vector<FaultScenario> scenarios =
-      standard_scenarios(groups, per_group, ft);
+  std::vector<FaultScenario> scenarios;
+  if (wan) {
+    scenarios.push_back(dc_outage_scenario(0, per_group, ft));  // leader DC
+    scenarios.push_back(dc_outage_scenario(1, per_group, ft));
+  } else {
+    scenarios = standard_scenarios(groups, per_group, ft);
+  }
 
   // Flatten the (system x scenario) matrix for the pool; results land by
   // index, which keeps the output identical for any thread count.
@@ -73,13 +107,26 @@ int main(int argc, char** argv) {
     const ScenarioResult& r = results[i];
     if (i % scenarios.size() == 0)
       std::printf("\n--- %s ---\n", system_name(jobs[i].system));
-    std::printf("  %-24s  avail %5.1f%% / %5.1f%% / %5.1f%%   %s%s\n",
-                r.scenario.c_str(), 100 * r.before.throughput / rate,
-                100 * r.during.throughput / rate,
-                100 * r.after.throughput / rate,
-                r.digests_agree ? "agree" : "DIVERGED",
-                r.stalled_during() ? " (stalled)" : "");
+    char fo[32];
+    if (r.failed_over())
+      std::snprintf(fo, sizeof fo, "%.1f ms",
+                    static_cast<double>(r.failover_ns) / 1e6);
+    else
+      std::snprintf(fo, sizeof fo, "never");
+    std::printf(
+        "  %-24s  avail %5.1f%% / %5.1f%% / %5.1f%%   failover %-10s %s%s\n",
+        r.scenario.c_str(), 100 * r.before.throughput / rate,
+        100 * r.during.throughput / rate, 100 * r.after.throughput / rate, fo,
+        r.digests_agree ? "agree" : "DIVERGED",
+        r.stalled_during() ? " (stalled)" : "");
     if (!r.safe()) ++violations;
+    // Every scenario heals and drains, so comparable nodes must converge
+    // to the same commit count — EXCEPT a system stalled by majority loss
+    // (Canopus survivors freeze a broadcast apart and the dead super-leaf
+    // never rejoins).
+    if (r.commit_spread > 0 &&
+        !(jobs[i].scenario->majority_loss && r.stalled_during()))
+      ++violations;
     // Canopus must stall (not diverge) when a super-leaf loses its
     // majority — §6's documented trade. (Other systems may also pause:
     // the crashed majority includes server 0, the Zab/Raft leader.)
@@ -98,7 +145,11 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.committed_writes))
         .scalar("comparable_nodes",
                 static_cast<double>(r.comparable_nodes))
+        .scalar("commit_spread", static_cast<double>(r.commit_spread))
         .scalar("availability_during", r.during.throughput / rate)
+        .scalar("failover_ms",
+                r.failed_over() ? static_cast<double>(r.failover_ns) / 1e6
+                                : -1)
         .point("before", r.before)
         .point("during", r.during)
         .point("after", r.after);

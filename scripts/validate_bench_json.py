@@ -44,6 +44,22 @@ PDES_FIGURE_SCALARS = (
     "hardware_threads", "all_identical_to_serial",
 )
 
+# BENCH_shard.json: throughput vs shard count for the sharded multi-group
+# deployment. Scaling series carry (system, dist) attrs and one "agg"
+# point; chaos series carry the per-group audit verdict.
+SHARD_SCALING_SCALARS = (
+    "shards", "committed_writes", "redirects", "retries", "client_failed",
+    "sessions", "groups_agree", "max_group_share",
+)
+SHARD_CHAOS_SCALARS = (
+    "shards", "violations", "fault_events", "acked_writes",
+    "committed_writes", "redirects", "retries", "client_failed",
+    "recovered", "recovery_ms",
+)
+SHARD_FIGURE_SCALARS = (
+    "scaling_ok_canopus", "scaling_ok_raft", "violations_total",
+)
+
 
 def fail(path, msg):
     print(f"{path}: INVALID: {msg}", file=sys.stderr)
@@ -112,6 +128,8 @@ def check_figure(path, doc):
         check_chaos(path, doc)
     if doc["figure"] == "pdes":
         check_pdes(path, doc)
+    if doc["figure"] == "shard":
+        check_shard(path, doc)
 
 
 def check_chaos(path, doc):
@@ -170,6 +188,55 @@ def check_pdes(path, doc):
         if (s["scalars"]["sim_threads"] > 1
                 and s["scalars"]["identical_to_serial"] != 1):
             fail(path, f"{where}: sharded run diverged from its serial twin")
+
+
+def check_shard(path, doc):
+    """BENCH_shard.json: the sharded-consensus capstone. Every series is
+    either a (system, dist, shards) scaling point with an "agg" point or a
+    per-system chaos verdict with before/storm/after; the figure must carry
+    the scaling-gate and violation-total scalars the CI gate keys on."""
+    for k in SHARD_FIGURE_SCALARS:
+        if k not in doc["scalars"]:
+            fail(path, f"shard: missing figure scalar '{k}'")
+    for k in ("scaling_ok_canopus", "scaling_ok_raft"):
+        if doc["scalars"][k] not in (0, 1):
+            fail(path, f"shard: '{k}' must be 0 or 1")
+    total = 0
+    saw_scaling = saw_chaos = False
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        if "system" not in s["attrs"]:
+            fail(path, f"{where}: shard series missing attr 'system'")
+        if s["scalars"].get("shards", 0) < 1:
+            fail(path, f"{where}: shards < 1")
+        if "agg" in s["points"]:  # scaling point
+            saw_scaling = True
+            if "dist" not in s["attrs"]:
+                fail(path, f"{where}: scaling series missing attr 'dist'")
+            for k in SHARD_SCALING_SCALARS:
+                if k not in s["scalars"]:
+                    fail(path, f"{where}: scaling series missing '{k}'")
+            if not (0 < s["scalars"]["max_group_share"] <= 1):
+                fail(path, f"{where}: max_group_share out of (0, 1]")
+            if s["scalars"]["groups_agree"] not in (0, 1):
+                fail(path, f"{where}: 'groups_agree' must be 0 or 1")
+        else:  # chaos point
+            saw_chaos = True
+            for k in SHARD_CHAOS_SCALARS:
+                if k not in s["scalars"]:
+                    fail(path, f"{where}: chaos series missing '{k}'")
+            for p in ("before", "storm", "after"):
+                if p not in s["points"]:
+                    fail(path, f"{where}: chaos series missing point '{p}'")
+            if s["scalars"]["recovered"] == 0 \
+                    and s["scalars"]["recovery_ms"] != -1:
+                fail(path,
+                     f"{where}: unrecovered trial must report recovery_ms=-1")
+            total += s["scalars"]["violations"]
+    if not saw_scaling or not saw_chaos:
+        fail(path, "shard: need both scaling and chaos series")
+    if total != doc["scalars"]["violations_total"]:
+        fail(path, "shard: violations_total does not match the series sum")
 
 
 def check_micro(path, doc):

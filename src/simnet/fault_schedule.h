@@ -15,6 +15,7 @@
 // workload/fault_scenario.h.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -62,6 +63,19 @@ class FaultSchedule {
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
+
+  /// Appends all of `other`'s events and re-sorts by time, keeping each
+  /// source schedule's relative order at equal timestamps (stable sort, so
+  /// a generator's repair-before-fault tie discipline survives the merge).
+  /// This is how per-group chaos storms compose into one fleet schedule —
+  /// see workload/sharded.h.
+  FaultSchedule& merge(const FaultSchedule& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+    std::stable_sort(
+        events_.begin(), events_.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    return *this;
+  }
 
   /// Applies one event directly to the network (no scheduling).
   static void apply(Network& net, const FaultEvent& ev);

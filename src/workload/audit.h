@@ -132,13 +132,15 @@ class HistoryAuditor {
 
   // --- live wiring ------------------------------------------------------
 
-  /// Wires the auditor into a live run: captures every commit via
-  /// service.on_commit, every client completion via client.on_reply, and —
-  /// for ordered systems — schedules the continuous prefix probe every
-  /// `check_interval` from `first_probe` until `until`.
-  void attach(ConsensusService& service,
-              std::vector<std::unique_ptr<OpenLoopClient>>& clients,
-              simnet::Simulator& sim, Time first_probe, Time until) {
+  /// Wires the auditor's server side into a live run: captures every
+  /// commit via service.on_commit and — for ordered systems — schedules
+  /// the continuous prefix probe every `check_interval` from `first_probe`
+  /// until `until`. The caller feeds client completions itself via
+  /// note_reply (or server_index for NodeId translation); the sharded
+  /// runner (workload/sharded.h) uses this one-auditor-per-group, with
+  /// RouterClient completions demultiplexed onto group auditors.
+  void attach_service(ConsensusService& service, simnet::Simulator& sim,
+                      Time first_probe, Time until) {
     service_ = &service;
     sim_ = &sim;
     probe_until_ = until;
@@ -148,13 +150,27 @@ class HistoryAuditor {
                                const std::vector<kv::Request>& batch) {
       note_commit(i, batch);
     };
+    if (cfg_.ordered)
+      sim.at(first_probe, [this] { probe(); });
+  }
+
+  /// The attached service's server index for a NodeId (for feeding
+  /// note_reply from a client's on_reply hook).
+  std::size_t server_index(NodeId n) const { return index_of_.at(n); }
+  /// Current simulation time of the attached run (note_reply timestamps).
+  Time attached_now() const { return sim_->now(); }
+
+  /// attach_service plus the classic client wiring: every
+  /// OpenLoopClient::on_reply feeds note_reply (the chaos runner's shape).
+  void attach(ConsensusService& service,
+              std::vector<std::unique_ptr<OpenLoopClient>>& clients,
+              simnet::Simulator& sim, Time first_probe, Time until) {
+    attach_service(service, sim, first_probe, until);
     for (std::size_t ci = 0; ci < clients.size(); ++ci)
       clients[ci]->on_reply = [this, ci](NodeId server,
                                          const kv::Completion& c) {
         note_reply(ci, index_of_.at(server), c, sim_->now());
       };
-    if (cfg_.ordered)
-      sim.at(first_probe, [this] { probe(); });
   }
 
   // --- checks -----------------------------------------------------------

@@ -168,7 +168,11 @@ inline ChaosResult run_chaos_trial(const TrialConfig& tc,
   cc.mean_extra = ci.mean_extra;
   simnet::ChaosScheduleGenerator gen(derive_seed(trial_seed, 0xc4a0c5ULL));
   const simnet::FaultSchedule storm = gen.generate(cc, cluster.servers);
-  arm_via_service(storm, net, *service);
+  // Tolerate mode: storms arm recovers against Canopus on purpose — nodes
+  // darkening over a storm's lifetime is the documented §4.6 trade whose
+  // availability cost this bench measures.
+  arm_via_service(storm, net, *service,
+                  RecoverArming::kTolerateUnsupported);
 
   if (tc.sim_threads > 1)
     sim.run_parallel_until(ft.end_at + ft.drain);

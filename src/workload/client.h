@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "kv/types.h"
 #include "simnet/network.h"
+#include "workload/key_sampler.h"
 #include "workload/stats.h"
 
 namespace canopus::workload {
@@ -26,7 +27,11 @@ struct ClientConfig {
   std::vector<NodeId> servers;
   double rate_per_s = 1'000;         ///< offered load (requests/second)
   double write_ratio = 0.2;          ///< paper default workload: 20% writes
-  std::uint64_t num_keys = 1'000'000;  ///< keys drawn uniformly (§8.1)
+  std::uint64_t num_keys = 1'000'000;  ///< key space size (§8.1: 1M keys)
+  /// Key popularity: uniform (the paper's workload, the historical RNG
+  /// stream) or Zipfian with exponent `zipf_theta` (key_sampler.h).
+  KeyDist key_dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;          ///< YCSB's default skew
   Time tick = 200 * kMicrosecond;    ///< arrival aggregation granularity
   Time stop_at = 0;                  ///< stop generating at this time
 };
@@ -41,6 +46,8 @@ class OpenLoopClient : public simnet::Process {
     if (cfg_.servers.empty())
       throw std::invalid_argument(
           "OpenLoopClient: ClientConfig.servers must be non-empty");
+    if (cfg_.key_dist == KeyDist::kZipfian)
+      zipf_ = ZipfTable::get(cfg_.num_keys, cfg_.zipf_theta);
   }
 
   void on_start() override { tick(); }
@@ -82,7 +89,9 @@ class OpenLoopClient : public simnet::Process {
         kv::Request r;
         r.id = {node_id(), seq_++};
         r.is_write = rng_.uniform() < cfg_.write_ratio;
-        r.key = rng_.below(cfg_.num_keys);
+        // Both distributions consume one RNG draw; the uniform branch is
+        // the historical stream (seeded goldens pin it byte-for-byte).
+        r.key = zipf_ ? zipf_->draw(rng_) : rng_.below(cfg_.num_keys);
         r.value = rng_();
         // Arrival uniform within the tick; order within the batch is the
         // client's submission order, so timestamps must be sorted.
@@ -137,6 +146,7 @@ class OpenLoopClient : public simnet::Process {
 
   ClientConfig cfg_;
   std::shared_ptr<LatencyRecorder> rec_;
+  std::shared_ptr<const ZipfTable> zipf_;  ///< null for the uniform draw
   Rng rng_;
   std::uint64_t seq_ = 0;
   std::uint64_t sent_ = 0;

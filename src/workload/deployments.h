@@ -13,6 +13,8 @@
 
 #include <bit>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "simnet/network.h"
@@ -53,6 +55,10 @@ struct TrialConfig {
   // Workload (§8.1): 180 clients, 20% writes, 1M keys, 16-byte pairs.
   double write_ratio = 0.2;
   std::uint64_t num_keys = 1'000'000;
+  /// Key popularity (key_sampler.h): the paper's uniform draw by default;
+  /// kZipfian skews per YCSB with exponent `zipf_theta`.
+  KeyDist key_dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;
 
   // Measurement window.
   Time warmup = 600 * kMillisecond;
@@ -101,36 +107,58 @@ inline simnet::Cluster build_cluster(const TrialConfig& tc) {
   return simnet::build_multi_rack(rc);
 }
 
-/// Canopus LOT: one super-leaf per rack/DC.
-inline lot::LotConfig make_lot_config(const TrialConfig& tc,
-                                      const simnet::Cluster& cluster) {
+/// Canopus LOT for an arbitrary server set: one super-leaf per rack/DC,
+/// super-leaves in rack order of first appearance. For the classic
+/// whole-cluster deployment (servers laid out rack-major by build_cluster)
+/// this reproduces the historical `groups x per_group` grouping exactly;
+/// for a sharded group confined to one rack it yields a single super-leaf
+/// (height-1 LOT — supported by lot::Lot::build).
+inline lot::LotConfig make_lot_config(const std::vector<NodeId>& servers,
+                                      const simnet::Topology& topo) {
   lot::LotConfig lc;
-  for (int g = 0; g < tc.groups; ++g) {
-    lc.super_leaves.emplace_back();
-    for (int s = 0; s < tc.per_group; ++s)
-      lc.super_leaves.back().push_back(
-          cluster.servers[static_cast<std::size_t>(g * tc.per_group + s)]);
+  std::unordered_map<int, std::size_t> slot;
+  for (const NodeId n : servers) {
+    const auto [it, fresh] =
+        slot.try_emplace(topo.rack_of(n), lc.super_leaves.size());
+    if (fresh) lc.super_leaves.emplace_back();
+    lc.super_leaves[it->second].push_back(n);
   }
   return lc;
 }
 
-/// Deploys the configured system's servers onto the network. The service
-/// owns the protocol instances; it must outlive the simulation run.
+inline lot::LotConfig make_lot_config(const TrialConfig&,
+                                      const simnet::Cluster& cluster) {
+  return make_lot_config(cluster.servers, cluster.topo);
+}
+
+/// Deploys the configured system over `servers` — the whole cluster for the
+/// classic single-group deployments, or one shard's server slice for
+/// workload::ShardedService. The service owns the protocol instances; it
+/// must outlive the simulation run.
+inline std::unique_ptr<ConsensusService> make_group_service(
+    const TrialConfig& tc, std::vector<NodeId> servers,
+    const simnet::Topology& topo, simnet::Network& net) {
+  switch (tc.system) {
+    case System::kCanopus: {
+      lot::LotConfig lc = make_lot_config(servers, topo);
+      return std::make_unique<CanopusService>(net, std::move(servers), lc,
+                                              tc.canopus);
+    }
+    case System::kEPaxos:
+      return std::make_unique<EPaxosService>(net, std::move(servers),
+                                             tc.epaxos);
+    case System::kZab:
+      return std::make_unique<ZabService>(net, std::move(servers), tc.zab);
+    case System::kRaft:
+      return std::make_unique<RaftService>(net, std::move(servers), tc.raft);
+  }
+  return nullptr;
+}
+
 inline std::unique_ptr<ConsensusService> make_service(
     const TrialConfig& tc, const simnet::Cluster& cluster,
     simnet::Network& net) {
-  switch (tc.system) {
-    case System::kCanopus:
-      return std::make_unique<CanopusService>(
-          net, cluster.servers, make_lot_config(tc, cluster), tc.canopus);
-    case System::kEPaxos:
-      return std::make_unique<EPaxosService>(net, cluster.servers, tc.epaxos);
-    case System::kZab:
-      return std::make_unique<ZabService>(net, cluster.servers, tc.zab);
-    case System::kRaft:
-      return std::make_unique<RaftService>(net, cluster.servers, tc.raft);
-  }
-  return nullptr;
+  return make_group_service(tc, cluster.servers, cluster.topo, net);
 }
 
 /// Attaches one OpenLoopClient per client machine, spreading `offered_rate`
@@ -160,6 +188,8 @@ inline std::vector<std::unique_ptr<OpenLoopClient>> attach_clients(
     cc.rate_per_s = per_machine_rate;
     cc.write_ratio = tc.write_ratio;
     cc.num_keys = tc.num_keys;
+    cc.key_dist = tc.key_dist;
+    cc.zipf_theta = tc.zipf_theta;
     cc.stop_at = stop_at;
     clients.push_back(
         std::make_unique<OpenLoopClient>(cc, recorder, seeder()));

@@ -29,7 +29,10 @@
 #include <bit>
 #include <cassert>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -197,13 +200,51 @@ class PhasedRecorder : public LatencyRecorder {
 // Runner
 // --------------------------------------------------------------------------
 
+/// What arming a `recover` event against a system whose
+/// supports_recover() is false (Canopus, service.h) should do. The silent
+/// historical behavior — ConsensusService::recover returns false and the
+/// node simply stays dark — is a correct *outcome* for runners that
+/// document it, but a trap for schedule authors: a hand-written scenario
+/// that expects the node back gets an unexplained availability hole.
+enum class RecoverArming {
+  /// Fail fast at arming time: throw std::invalid_argument naming the
+  /// system and the number of doomed recover events. The default — a
+  /// schedule that cannot take effect as written is a bug at the call
+  /// site, not a measurement.
+  kStrict,
+  /// Accept the schedule; recover events against the unsupporting system
+  /// no-op and the node stays dark. The scenario/chaos runners pass this
+  /// explicitly: "Canopus loses crashed nodes for good" is the documented
+  /// §4.6 design trade their benches exist to measure.
+  kTolerateUnsupported,
+};
+
 /// Arms a FaultSchedule on the network, routing node crash/recover through
 /// the service (so the protocol instance is silenced/restarted together
 /// with the network) while sever/heal act on the network alone. Shared by
 /// the scenario runner and the chaos runner (workload/chaos.h). The service
 /// must outlive the armed events; the node-index map is owned by the hook.
-inline void arm_via_service(const simnet::FaultSchedule& sched,
-                            simnet::Network& net, ConsensusService& service) {
+///
+/// Throws std::invalid_argument when `mode` is kStrict, the schedule
+/// contains recover events, and the service cannot re-admit nodes (see
+/// RecoverArming).
+inline void arm_via_service(
+    const simnet::FaultSchedule& sched, simnet::Network& net,
+    ConsensusService& service,
+    RecoverArming mode = RecoverArming::kStrict) {
+  if (mode == RecoverArming::kStrict && !service.supports_recover()) {
+    std::size_t recovers = 0;
+    for (const simnet::FaultEvent& ev : sched.events())
+      if (ev.kind == simnet::FaultEvent::Kind::kRecover) ++recovers;
+    if (recovers > 0)
+      throw std::invalid_argument(
+          std::string("arm_via_service: schedule arms ") +
+          std::to_string(recovers) + " recover event(s) but " +
+          service.name() +
+          " has supports_recover() == false — the node(s) would silently "
+          "stay dark; pass RecoverArming::kTolerateUnsupported if that "
+          "degraded outcome is the measurement");
+  }
   auto index_of = std::make_shared<std::unordered_map<NodeId, std::size_t>>();
   for (std::size_t i = 0; i < service.num_servers(); ++i)
     (*index_of)[service.server_node(i)] = i;
@@ -222,6 +263,70 @@ inline void arm_via_service(const simnet::FaultSchedule& sched,
   });
 }
 
+/// Lowers a scenario's server-index steps onto concrete NodeIds. `servers`
+/// is the fleet-wide server list the indices address (the runner passes
+/// cluster.servers; sharded tests pass the same list with group-scoped
+/// scenarios mapped through scope_to_group first).
+inline simnet::FaultSchedule make_schedule(const FaultScenario& scenario,
+                                           const std::vector<NodeId>& servers) {
+  simnet::FaultSchedule sched;
+  const auto node_of = [&servers](int idx) {
+    return servers[static_cast<std::size_t>(idx)];
+  };
+  for (const FaultScenario::Step& st : scenario.steps) {
+    switch (st.op) {
+      case FaultScenario::Op::kCrash:
+        sched.crash_at(st.at, node_of(st.a));
+        break;
+      case FaultScenario::Op::kRecover:
+        sched.recover_at(st.at, node_of(st.a));
+        break;
+      case FaultScenario::Op::kSever:
+        sched.sever_at(st.at, node_of(st.a), node_of(st.b));
+        break;
+      case FaultScenario::Op::kHeal:
+        sched.heal_at(st.at, node_of(st.a), node_of(st.b));
+        break;
+    }
+  }
+  return sched;
+}
+
+/// Re-scopes a scenario authored in group-LOCAL server indices (0 ..
+/// per_group-1) onto group `group` of a sharded fleet: every index is
+/// offset by group * per_group. This is how the fault plane targets one
+/// consensus group of a ShardedService instead of the whole fleet.
+inline FaultScenario scope_to_group(FaultScenario s, int group,
+                                    int per_group) {
+  for (FaultScenario::Step& st : s.steps) {
+    if (st.a >= 0) st.a += group * per_group;
+    if (st.b >= 0) st.b += group * per_group;
+  }
+  s.name += "@group" + std::to_string(group);
+  return s;
+}
+
+/// Geo-failover: every server of datacenter `dc` crashes at fault_at and
+/// recovers at heal_at — the bench_failures --wan scenario. Killing DC 0
+/// takes the Zab/Raft leader with it, so the during-phase availability and
+/// the failover time measure leader re-election under a whole-DC outage;
+/// for Canopus a dead DC is a dead super-leaf: a documented stall
+/// (majority_loss semantics), and with no rejoin path the DC stays dark
+/// after heal_at.
+inline FaultScenario dc_outage_scenario(int dc, int per_group,
+                                        const FaultTiming& ft) {
+  FaultScenario s;
+  s.name = "dc" + std::to_string(dc) + "_outage";
+  s.description = "all servers of datacenter " + std::to_string(dc) +
+                  " crash, later recover (geo-failover)";
+  s.majority_loss = true;  // a whole super-leaf is gone: Canopus must stall
+  for (int v = dc * per_group; v < (dc + 1) * per_group; ++v) {
+    s.steps.push_back({ft.fault_at, FaultScenario::Op::kCrash, v, -1});
+    s.steps.push_back({ft.heal_at, FaultScenario::Op::kRecover, v, -1});
+  }
+  return s;
+}
+
 struct ScenarioResult {
   std::string system;
   std::string scenario;
@@ -229,23 +334,47 @@ struct ScenarioResult {
   /// Client-observed availability per phase (same offered rate throughout).
   Measurement before, during, after;
 
-  // Safety audit over comparable nodes at the end of the run.
+  // Safety audit over comparable nodes at the end of the run. Fingerprints
+  // are rolling hashes, so two nodes frozen at different commit counts are
+  // not directly comparable — a system stalled mid-broadcast (Canopus
+  // after a whole-DC outage on the WAN topology) legitimately freezes its
+  // survivors a cycle apart. Agreement is therefore asserted per count
+  // class — equal counts must mean equal fingerprints, the split-brain
+  // signature — and the count spread is reported separately so callers can
+  // gate spread == 0 wherever convergence is expected (every scenario that
+  // heals and drains).
   bool digests_agree = true;
   std::size_t comparable_nodes = 0;
-  std::uint64_t committed_writes = 0;  ///< on comparable nodes (all equal)
+  std::uint64_t committed_writes = 0;  ///< max over comparable nodes
+  std::uint64_t commit_spread = 0;     ///< max - min count over comparable
 
-  // Progress probes (max over live nodes, protocol units).
+  /// Client-observed failover time: completion time of the first WRITE
+  /// that arrived at or after fault_at, minus fault_at; -1 when no
+  /// post-fault write ever completed (e.g. Canopus after losing a whole
+  /// super-leaf). Writes, not reads: reads are served from a node's local
+  /// store and keep completing on surviving nodes through a leader outage,
+  /// so they would hide exactly the re-election gap this measures.
+  Time failover_ns = -1;
+  bool failed_over() const { return failover_ns >= 0; }
+
+  // Progress probes (max over live nodes, protocol units). "Stalled" is
+  // judged over the SECOND half of the fault window: commits in flight at
+  // the fault instant legitimately land for a propagation delay afterwards
+  // (~100 ms of pipelined cycles on the WAN topology), and that drain-out
+  // is not progress.
   std::uint64_t progress_at_fault = 0;
+  std::uint64_t progress_at_mid = 0;  ///< at (fault_at + heal_at) / 2
   std::uint64_t progress_at_heal = 0;
   std::uint64_t progress_at_end = 0;
-  bool stalled_during() const { return progress_at_heal <= progress_at_fault; }
+  bool stalled_during() const { return progress_at_heal <= progress_at_mid; }
   bool progressed_after() const { return progress_at_end > progress_at_heal; }
 
-  /// The SAFETY verdict: every comparable node committed the same writes.
-  /// Liveness is reported separately (stalled_during / progressed_after /
-  /// the per-phase availability) because the expected liveness outcome is
-  /// scenario- and system-specific — Canopus is SUPPOSED to stall on
-  /// majority loss — so callers assert it against their own expectations.
+  /// The SAFETY verdict: comparable nodes with equal commit counts
+  /// committed identical writes. Liveness is reported separately
+  /// (stalled_during / progressed_after / the per-phase availability)
+  /// because the expected liveness outcome is scenario- and
+  /// system-specific — Canopus is SUPPOSED to stall on majority loss — so
+  /// callers assert it, and commit_spread, against their own expectations.
   bool safe() const { return digests_agree; }
 };
 
@@ -277,6 +406,20 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   res.system = service->name();
   res.scenario = scenario.name;
 
+  // Failover pin: min completion time over post-fault-arrival writes.
+  // min() is order-independent, and the mutex covers concurrent client
+  // shards under the PDES kernel — serial and sharded runs agree.
+  std::mutex failover_mu;
+  Time first_write_after = -1;
+  for (auto& c : clients)
+    c->on_reply = [&](NodeId, const kv::Completion& done) {
+      if (!done.is_write || done.arrival < ft.fault_at) return;
+      const Time now = sim.now();
+      std::lock_guard<std::mutex> lock(failover_mu);
+      if (first_write_after < 0 || now < first_write_after)
+        first_write_after = now;
+    };
+
   // Progress probes: max over currently-up nodes. Scheduled before the
   // fault schedule is armed so a probe at the same timestamp observes the
   // pre-fault state (the event queue is FIFO for ties).
@@ -288,31 +431,18 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
     return p;
   };
   sim.at(ft.fault_at, [&] { res.progress_at_fault = max_progress(); });
+  sim.at(ft.fault_at + (ft.heal_at - ft.fault_at) / 2,
+         [&] { res.progress_at_mid = max_progress(); });
   sim.at(ft.heal_at, [&] { res.progress_at_heal = max_progress(); });
 
   // Map server indices -> NodeIds and arm the schedule, routing node
-  // faults through the service.
-  simnet::FaultSchedule sched;
-  const auto node_of = [&cluster](int idx) {
-    return cluster.servers[static_cast<std::size_t>(idx)];
-  };
-  for (const FaultScenario::Step& st : scenario.steps) {
-    switch (st.op) {
-      case FaultScenario::Op::kCrash:
-        sched.crash_at(st.at, node_of(st.a));
-        break;
-      case FaultScenario::Op::kRecover:
-        sched.recover_at(st.at, node_of(st.a));
-        break;
-      case FaultScenario::Op::kSever:
-        sched.sever_at(st.at, node_of(st.a), node_of(st.b));
-        break;
-      case FaultScenario::Op::kHeal:
-        sched.heal_at(st.at, node_of(st.a), node_of(st.b));
-        break;
-    }
-  }
-  arm_via_service(sched, net, *service);
+  // faults through the service. Tolerate mode: the standard suite arms
+  // recovers against Canopus on purpose — "crashed pnodes stay dark" is
+  // the §4.6 outcome these scenarios measure.
+  const simnet::FaultSchedule sched =
+      make_schedule(scenario, cluster.servers);
+  arm_via_service(sched, net, *service,
+                  RecoverArming::kTolerateUnsupported);
 
   if (tc.sim_threads > 1)
     sim.run_parallel_until(ft.end_at + ft.drain);
@@ -324,24 +454,28 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   res.during = measure(recorder->during(), offered_rate);
   res.after = measure(recorder->after(), offered_rate);
   res.progress_at_end = max_progress();
+  res.failover_ns =
+      first_write_after >= 0 ? first_write_after - ft.fault_at : -1;
 
-  // --- safety audit ------------------------------------------------------
-  bool first = true;
-  std::uint64_t fp = 0, count = 0;
+  // --- safety audit (per count class; see ScenarioResult) -----------------
+  std::map<std::uint64_t, std::uint64_t> fp_by_count;
+  std::uint64_t min_count = 0, max_count = 0;
   for (std::size_t i = 0; i < service->num_servers(); ++i) {
     if (!service->comparable(i)) continue;
     ++res.comparable_nodes;
     const std::uint64_t f = service->commit_fingerprint(i);
     const std::uint64_t c = service->committed_writes(i);
-    if (first) {
-      fp = f;
-      count = c;
-      first = false;
-    } else if (f != fp || c != count) {
-      res.digests_agree = false;
+    const auto [it, inserted] = fp_by_count.emplace(c, f);
+    if (!inserted && it->second != f) res.digests_agree = false;
+    if (res.comparable_nodes == 1) {
+      min_count = max_count = c;
+    } else {
+      min_count = std::min(min_count, c);
+      max_count = std::max(max_count, c);
     }
   }
-  res.committed_writes = count;
+  res.committed_writes = max_count;
+  res.commit_spread = max_count - min_count;
   return res;
 }
 

@@ -71,7 +71,10 @@ class ConsensusService {
   }
 
   /// Restarts node i with its durable state; false if this system cannot
-  /// re-admit a crashed node (the node stays dark).
+  /// re-admit a crashed node (the node stays dark). Fault schedules armed
+  /// through arm_via_service (workload/fault_scenario.h) fail fast by
+  /// default instead of silently hitting this false return — see
+  /// RecoverArming.
   bool recover(std::size_t i) {
     if (!supports_recover()) return false;
     net_.recover(servers_[i]);

@@ -124,6 +124,69 @@ TEST_P(ScenarioSuiteTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.progress_at_end, b.progress_at_end);
 }
 
+// --- RecoverArming: arming recovers against a system without a rejoin
+// path must fail fast (strict, the default) or be an explicit opt-in.
+
+TEST(RecoverArmingTest, StrictThrowsForCanopusRecoverEvents) {
+  const TrialConfig tc = small_config(System::kCanopus);
+  simnet::Simulator sim(1);
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+  auto svc = make_service(tc, cluster, net);
+  ASSERT_FALSE(svc->supports_recover());
+  simnet::FaultSchedule sched;
+  sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
+  try {
+    arm_via_service(sched, net, *svc);  // strict by default
+    FAIL() << "arming doomed recovers must throw";
+  } catch (const std::invalid_argument& e) {
+    // The diagnostic must name the system and the doomed events.
+    EXPECT_NE(std::string(e.what()).find("Canopus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 recover event"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("kTolerateUnsupported"),
+              std::string::npos);
+  }
+}
+
+TEST(RecoverArmingTest, StrictAcceptsCrashOnlyAndRecoverableSystems) {
+  {
+    const TrialConfig tc = small_config(System::kCanopus);
+    simnet::Simulator sim(1);
+    simnet::Cluster cluster = build_cluster(tc);
+    simnet::Network net(sim, cluster.topo, tc.cpu);
+    auto svc = make_service(tc, cluster, net);
+    simnet::FaultSchedule crash_only;
+    crash_only.crash_at(10, cluster.servers[1]);
+    EXPECT_NO_THROW(arm_via_service(crash_only, net, *svc));
+  }
+  {
+    const TrialConfig tc = small_config(System::kRaft);
+    simnet::Simulator sim(1);
+    simnet::Cluster cluster = build_cluster(tc);
+    simnet::Network net(sim, cluster.topo, tc.cpu);
+    auto svc = make_service(tc, cluster, net);
+    simnet::FaultSchedule sched;
+    sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
+    EXPECT_NO_THROW(arm_via_service(sched, net, *svc));
+  }
+}
+
+TEST(RecoverArmingTest, TolerateModeLeavesTheNodeDark) {
+  const TrialConfig tc = small_config(System::kCanopus);
+  simnet::Simulator sim(1);
+  simnet::Cluster cluster = build_cluster(tc);
+  simnet::Network net(sim, cluster.topo, tc.cpu);
+  auto svc = make_service(tc, cluster, net);
+  simnet::FaultSchedule sched;
+  sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
+  arm_via_service(sched, net, *svc, RecoverArming::kTolerateUnsupported);
+  sim.run_until(30);
+  EXPECT_FALSE(svc->up(1));  // the recover no-opped, as opted into
+  EXPECT_TRUE(svc->ever_crashed(1));
+  EXPECT_FALSE(svc->comparable(1));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSystems, ScenarioSuiteTest,
                          ::testing::Values(System::kCanopus, System::kRaft,
                                            System::kZab, System::kEPaxos),
