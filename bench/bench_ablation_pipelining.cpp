@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   for (bool pipe : {false, true}) {
     TrialConfig tc;
     tc.sim_threads = h.sim_threads();
+    tc.runtime = h.runtime_kind();
     tc.system = System::kCanopus;
     tc.wan = true;
     tc.groups = 3;

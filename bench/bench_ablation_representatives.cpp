@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   h.pool().run_indexed(variants.size(), [&](std::size_t i) {
     TrialConfig tc;
     tc.sim_threads = h.sim_threads();
+    tc.runtime = h.runtime_kind();
     tc.system = System::kCanopus;
     tc.groups = 3;
     tc.per_group = 9;

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   auto base = [&](int pr) {
     TrialConfig tc;
     tc.sim_threads = h.sim_threads();
+    tc.runtime = h.runtime_kind();
     tc.groups = 3;
     tc.per_group = pr;
     tc.client_machines = 5;

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     for (const Series& s : series) {
       TrialConfig tc;
       tc.sim_threads = h.sim_threads();
+      tc.runtime = h.runtime_kind();
       tc.groups = 3;
       tc.per_group = pr;
       tc.warmup = 400 * kMillisecond;

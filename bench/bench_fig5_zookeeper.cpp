@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     for (const Entry& e : entries) {
       TrialConfig tc;
       tc.sim_threads = h.sim_threads();
+      tc.runtime = h.runtime_kind();
       tc.system = e.system;
       tc.groups = 3;
       tc.per_group = pr;

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     for (bool canopus : {true, false}) {
       TrialConfig tc;
       tc.sim_threads = h.sim_threads();
+      tc.runtime = h.runtime_kind();
       tc.system = canopus ? System::kCanopus : System::kEPaxos;
       tc.wan = true;
       tc.groups = dcs;

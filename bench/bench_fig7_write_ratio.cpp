@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   for (const Series& s : series) {
     TrialConfig tc;
     tc.sim_threads = h.sim_threads();
+    tc.runtime = h.runtime_kind();
     tc.system = s.system;
     tc.wan = true;
     tc.groups = 3;

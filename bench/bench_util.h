@@ -33,6 +33,10 @@
 //                     event loop; >1 runs the sharded PDES kernel, one
 //                     worker per rack/DC-derived shard, bit-identical
 //                     results either way — see DESIGN.md Sec 10)
+//   --runtime=KIND    execution backend per trial: "sim" (default, the
+//                     deterministic discrete-event simulator) or "threads"
+//                     (runtime::ThreadedRuntime — real node threads over
+//                     SPSC mailboxes, wall-clock, hardware-dependent)
 //   --json=PATH       output path (default: BENCH_<figure>.json in the cwd)
 #pragma once
 
@@ -112,13 +116,16 @@ class Harness {
         json_path_(arg_value(argc, argv, "--json=", "BENCH_" + figure_ + ".json")),
         full_(has_flag(argc, argv, "--full")),
         sim_threads_(parse_sim_threads(argc, argv)),
+        runtime_(parse_runtime(argc, argv)),
         pool_(parse_threads(argc, argv)),
         start_(std::chrono::steady_clock::now()),
         events_at_start_(simnet::Simulator::global_events()),
         allocs_at_start_(heap_allocations()) {
     print_header(title_.c_str(), ref_.c_str());
-    std::printf("mode: %s   trial threads: %u   sim threads: %u\n",
-                full_ ? "full" : "quick", pool_.threads(), sim_threads_);
+    std::printf("mode: %s   trial threads: %u   sim threads: %u   "
+                "runtime: %s\n",
+                full_ ? "full" : "quick", pool_.threads(), sim_threads_,
+                workload::runtime_name(runtime_));
   }
 
   bool full() const { return full_; }
@@ -128,6 +135,13 @@ class Harness {
   /// Intra-trial shard workers (--sim-threads=N); 1 = serial event loop.
   /// Benches forward this into TrialConfig::sim_threads.
   unsigned sim_threads() const { return sim_threads_; }
+
+  /// Execution backend (--runtime=sim|threads); benches forward this into
+  /// TrialConfig::runtime. kThreads runs each trial on real node threads
+  /// (runtime::ThreadedRuntime, DESIGN.md Sec 12) at wall-clock speed —
+  /// results are then hardware-dependent, not deterministic, and trials
+  /// should not run concurrently (--threads=1).
+  workload::RuntimeKind runtime_kind() const { return runtime_; }
 
   SeriesResult& add_series(std::string name) {
     series_.emplace_back();
@@ -197,6 +211,15 @@ class Harness {
     if (v.empty()) return 1;  // serial event loop
     const long n = std::strtol(v.c_str(), nullptr, 10);
     return n > 0 ? static_cast<unsigned>(n) : 1;
+  }
+
+  static workload::RuntimeKind parse_runtime(int argc, char** argv) {
+    const std::string v = arg_value(argc, argv, "--runtime=", "sim");
+    if (v == "threads") return workload::RuntimeKind::kThreads;
+    if (v != "sim")
+      std::fprintf(stderr, "warning: unknown --runtime=%s, using sim\n",
+                   v.c_str());
+    return workload::RuntimeKind::kSim;
   }
 
   static void json_string(std::FILE* f, const std::string& s) {
@@ -307,6 +330,7 @@ class Harness {
   std::string json_path_;
   bool full_;
   unsigned sim_threads_;
+  workload::RuntimeKind runtime_;
   workload::TrialPool pool_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t events_at_start_;

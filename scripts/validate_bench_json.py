@@ -60,6 +60,20 @@ SHARD_FIGURE_SCALARS = (
     "scaling_ok_canopus", "scaling_ok_raft", "violations_total",
 )
 
+# BENCH_runtime.json: the real-thread backend (DESIGN.md Sec 12). Series
+# come in three planes — mailbox fabric throughput, payload-size
+# calibration, and per-protocol scripted commits — and the figure scalars
+# carry the zero-steady-state-alloc gate plus the cost-model fit.
+RUNTIME_FIGURE_SCALARS = (
+    "steady_window_msgs", "steady_window_allocs", "steady_allocs_per_msg",
+    "calibrated_hop_fixed_ns", "calibrated_ns_per_byte",
+    "sim_default_ns_per_byte", "sim_default_hop_fixed_ns",
+)
+RUNTIME_PROTOCOL_SCALARS = (
+    "script_k", "committed_min", "completed", "commit_p50_ns",
+    "commit_p99_ns", "messages", "wall_seconds",
+)
+
 
 def fail(path, msg):
     print(f"{path}: INVALID: {msg}", file=sys.stderr)
@@ -130,6 +144,8 @@ def check_figure(path, doc):
         check_pdes(path, doc)
     if doc["figure"] == "shard":
         check_shard(path, doc)
+    if doc["figure"] == "runtime":
+        check_runtime(path, doc)
 
 
 def check_chaos(path, doc):
@@ -237,6 +253,51 @@ def check_shard(path, doc):
         fail(path, "shard: need both scaling and chaos series")
     if total != doc["scalars"]["violations_total"]:
         fail(path, "shard: violations_total does not match the series sum")
+
+
+def check_runtime(path, doc):
+    """BENCH_runtime.json: the threaded backend. Needs all three planes,
+    a clean zero-alloc steady window, and a sane calibration fit."""
+    for k in RUNTIME_FIGURE_SCALARS:
+        if k not in doc["scalars"]:
+            fail(path, f"runtime: missing figure scalar '{k}'")
+    if doc["scalars"]["steady_window_msgs"] <= 0:
+        fail(path, "runtime: empty steady measurement window")
+    if doc["scalars"]["steady_window_allocs"] != 0:
+        fail(path, "runtime: steady window allocated on the hot path "
+                   "(zero-steady-state-alloc gate)")
+    if doc["scalars"]["calibrated_ns_per_byte"] < 0:
+        fail(path, "runtime: negative per-byte cost fit")
+    saw_mailbox = saw_calibration = saw_protocol = False
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        plane = s["attrs"].get("plane")
+        if plane == "mailbox":
+            saw_mailbox = True
+            if s["scalars"].get("msgs_per_s", 0) <= 0:
+                fail(path, f"{where}: mailbox plane with no throughput")
+            if s["scalars"].get("nodes", 0) < 1:
+                fail(path, f"{where}: mailbox plane with nodes < 1")
+        elif plane == "calibration":
+            saw_calibration = True
+            for k in ("payload_bytes", "ns_per_hop", "hops"):
+                if k not in s["scalars"]:
+                    fail(path, f"{where}: calibration series missing '{k}'")
+            if s["scalars"]["ns_per_hop"] <= 0:
+                fail(path, f"{where}: non-positive ns_per_hop")
+        elif plane == "protocol":
+            saw_protocol = True
+            if "system" not in s["attrs"]:
+                fail(path, f"{where}: protocol series missing attr 'system'")
+            for k in RUNTIME_PROTOCOL_SCALARS:
+                if k not in s["scalars"]:
+                    fail(path, f"{where}: protocol series missing '{k}'")
+            if s["scalars"]["completed"] not in (0, 1):
+                fail(path, f"{where}: 'completed' must be 0 or 1")
+        else:
+            fail(path, f"{where}: unknown runtime plane '{plane}'")
+    if not (saw_mailbox and saw_calibration and saw_protocol):
+        fail(path, "runtime: need mailbox, calibration and protocol series")
 
 
 def check_micro(path, doc):

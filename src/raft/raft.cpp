@@ -6,7 +6,7 @@
 namespace canopus::raft {
 
 RaftNode::RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
-                   simnet::Simulator& sim, Callbacks cb, Options opt)
+                   simnet::ClockHandle sim, Callbacks cb, Options opt)
     : group_(group),
       self_(self),
       members_(std::move(members)),

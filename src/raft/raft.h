@@ -27,7 +27,7 @@
 #include "common/types.h"
 #include "raft/messages.h"
 #include "simnet/payload.h"
-#include "simnet/simulator.h"
+#include "simnet/network.h"
 
 namespace canopus::raft {
 
@@ -64,7 +64,7 @@ class RaftNode {
   };
 
   RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
-           simnet::Simulator& sim, Callbacks cb, Options opt = {});
+           simnet::ClockHandle sim, Callbacks cb, Options opt = {});
   ~RaftNode();
 
   RaftNode(const RaftNode&) = delete;
@@ -145,7 +145,7 @@ class RaftNode {
   GroupId group_;
   NodeId self_;
   std::vector<NodeId> members_;
-  simnet::Simulator& sim_;
+  simnet::ClockHandle sim_;
   Callbacks cb_;
   Options opt_;
   /// Election-jitter stream, seeded from (trial seed, group, self) only:

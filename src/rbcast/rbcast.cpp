@@ -6,7 +6,7 @@
 namespace canopus::rbcast {
 
 ReliableBroadcast::ReliableBroadcast(NodeId self, std::vector<NodeId> members,
-                                     simnet::Simulator& sim, Callbacks cb,
+                                     simnet::ClockHandle sim, Callbacks cb,
                                      raft::Options opt)
     : self_(self),
       members_(std::move(members)),

@@ -44,7 +44,7 @@ class ReliableBroadcast final : public Broadcast {
   };
 
   ReliableBroadcast(NodeId self, std::vector<NodeId> members,
-                    simnet::Simulator& sim, Callbacks cb,
+                    simnet::ClockHandle sim, Callbacks cb,
                     raft::Options opt = {});
 
   /// Starts all per-node groups; `self`'s own group bootstraps with self as
@@ -85,7 +85,7 @@ class ReliableBroadcast final : public Broadcast {
 
   NodeId self_;
   std::vector<NodeId> members_;
-  simnet::Simulator& sim_;
+  simnet::ClockHandle sim_;
   Callbacks cb_;
   raft::Options opt_;
   /// One Raft group per member, keyed by the member (== group id).

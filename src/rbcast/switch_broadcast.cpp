@@ -6,7 +6,7 @@ namespace canopus::rbcast {
 
 SwitchBroadcast::SwitchBroadcast(NodeId self, std::vector<NodeId> members,
                                  std::shared_ptr<SequencerState> sequencer,
-                                 simnet::Simulator& sim, simnet::Network& net,
+                                 simnet::ClockHandle sim, simnet::NetHandle net,
                                  Callbacks cb, SwitchOptions opt)
     : self_(self),
       members_(std::move(members)),

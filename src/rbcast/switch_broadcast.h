@@ -64,7 +64,7 @@ class SwitchBroadcast final : public Broadcast {
   /// commit notifications and quorum waits.
   SwitchBroadcast(NodeId self, std::vector<NodeId> members,
                   std::shared_ptr<SequencerState> sequencer,
-                  simnet::Simulator& sim, simnet::Network& net, Callbacks cb,
+                  simnet::ClockHandle sim, simnet::NetHandle net, Callbacks cb,
                   SwitchOptions opt = {});
 
   void start() override;
@@ -83,8 +83,8 @@ class SwitchBroadcast final : public Broadcast {
   NodeId self_;
   std::vector<NodeId> members_;
   std::shared_ptr<SequencerState> seq_;
-  simnet::Simulator& sim_;
-  simnet::Network& net_;
+  simnet::ClockHandle sim_;
+  simnet::NetHandle net_;
   Callbacks cb_;
   SwitchOptions opt_;
 

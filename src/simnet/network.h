@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "runtime/api.h"
 #include "simnet/message.h"
 #include "simnet/simulator.h"
 #include "simnet/topology.h"
@@ -47,13 +48,17 @@ struct NetworkStats {
   std::uint64_t dropped = 0;
 };
 
-class Network : public MessageEventTarget {
+/// Network is also the simulated backend's runtime::Host: drivers written
+/// against the Host seam (ConsensusService, deployments) work unchanged on
+/// either backend. post() runs inline — between run() slices the driver
+/// thread IS every node's execution context.
+class Network : public MessageEventTarget, public runtime::Host {
  public:
   Network(Simulator& sim, Topology topo, CpuModel cpu = {});
 
   /// Registers the process handling messages addressed to `id`.
   /// The process must outlive the network.
-  void attach(NodeId id, Process& proc);
+  void attach(NodeId id, Process& proc) override;
 
   /// Sends a message; delivery is scheduled through the link/CPU model.
   void send(Message m);
@@ -71,12 +76,16 @@ class Network : public MessageEventTarget {
   }
 
   // --- fault injection -----------------------------------------------
-  void crash(NodeId n);
-  void recover(NodeId n);
-  bool is_up(NodeId n) const { return up_[n]; }
+  void crash(NodeId n) override;
+  void recover(NodeId n) override;
+  bool is_up(NodeId n) const override { return up_[n]; }
   /// Severs/heals the directed pair a -> b.
-  void sever(NodeId a, NodeId b);
-  void heal(NodeId a, NodeId b);
+  void sever(NodeId a, NodeId b) override;
+  void heal(NodeId a, NodeId b) override;
+
+  /// Host::post — simulated backend: the caller is already the (only)
+  /// execution thread, so the closure runs inline.
+  void post(NodeId /*n*/, InlineFn fn) override { fn(); }
 
   // --- observability --------------------------------------------------
   /// Aggregated over the per-shard slots (the counters are sharded so
@@ -194,8 +203,74 @@ class Network : public MessageEventTarget {
   }
 };
 
+/// Clock facet of the runtime seam: the subset of Simulator the protocols
+/// use (now/cancel/after), duck-typed so code written against the simulator
+/// — `sim().now()`, `sim_.after(...)` in the consensus engines — runs
+/// unchanged on the threaded backend. A cheap two-pointer value; the
+/// simulated branch (sim_ != nullptr) inlines to the direct Simulator call,
+/// keeping the per-message hot path free of virtual dispatch so PR 4's
+/// numbers and the golden digests are untouched.
+class ClockHandle {
+ public:
+  /// Direct handle onto a Simulator (test harnesses, simulator-only tools).
+  ClockHandle(Simulator& s) : sim_(&s), rt_(nullptr) {}
+
+  Time now() const { return sim_ ? sim_->now() : rt_->now(); }
+  void cancel(EventId id) const {
+    if (sim_ != nullptr)
+      sim_->cancel(id);
+    else
+      rt_->cancel(id);
+  }
+  EventId after(Time delay, InlineFn fn) const {
+    return sim_ != nullptr ? sim_->after(delay, std::move(fn))
+                           : rt_->arm(delay, std::move(fn));
+  }
+  std::uint64_t seed() const { return sim_ ? sim_->seed() : rt_->seed(); }
+
+ private:
+  friend class Process;
+  ClockHandle(Simulator* s, runtime::Runtime* r) : sim_(s), rt_(r) {}
+  Simulator* sim_;
+  runtime::Runtime* rt_;
+};
+
+/// Network facet of the runtime seam (busy/is_up/send); see ClockHandle.
+class NetHandle {
+ public:
+  /// Direct handle onto a Network (test harnesses, simulator-only tools).
+  NetHandle(Network& n) : net_(&n), rt_(nullptr) {}
+
+  void busy(NodeId n, Time cost) const {
+    if (net_ != nullptr)
+      net_->busy(n, cost);
+    else
+      rt_->busy(n, cost);
+  }
+  bool is_up(NodeId n) const { return net_ ? net_->is_up(n) : rt_->is_up(n); }
+  void send(Message m) const {
+    if (net_ != nullptr)
+      net_->send(std::move(m));
+    else
+      rt_->send(std::move(m));
+  }
+
+ private:
+  friend class Process;
+  NetHandle(Network* n, runtime::Runtime* r) : net_(n), rt_(r) {}
+  Network* net_;
+  runtime::Runtime* rt_;
+};
+
 /// Base class for all protocol actors (consensus nodes, clients, switches'
 /// control planes...). A Process is attached to exactly one NodeId.
+///
+/// Runtime seam: a Process is attached either to a Network (simulated
+/// backend — sim_/net_ set, rt_ null) or to a runtime::ThreadedRuntime
+/// (rt_ set, sim_/net_ null). sim()/net() return the thin value handles
+/// above, which branch on that pointer — the same protocol code
+/// transparently targets the threaded backend's wall clock, timer wheel
+/// and mailboxes.
 class Process {
  public:
   virtual ~Process() = default;
@@ -209,8 +284,8 @@ class Process {
   virtual void on_message(const Message& m) = 0;
 
  protected:
-  Simulator& sim() const { return *sim_; }
-  Network& net() const { return *net_; }
+  ClockHandle sim() const { return ClockHandle(sim_, rt_); }
+  NetHandle net() const { return NetHandle(net_, rt_); }
 
   /// Per-process deterministic RNG, seeded at attach() from the trial seed
   /// and the node id. Protocol code must draw from THIS stream, never from
@@ -222,17 +297,23 @@ class Process {
   /// Sends a typed payload to `dst`, charging `wire_bytes` on the wire.
   /// Any registered wire-message type converts to Payload at this boundary.
   void send(NodeId dst, std::size_t wire_bytes, Payload payload) {
-    net_->send(Message(id_, dst, wire_bytes, std::move(payload)));
+    Message m(id_, dst, wire_bytes, std::move(payload));
+    if (net_ != nullptr)
+      net_->send(std::move(m));
+    else
+      rt_->send(std::move(m));
   }
 
   EventId after(Time delay, InlineFn fn) {
-    return sim_->after(delay, std::move(fn));
+    return sim().after(delay, std::move(fn));
   }
 
  private:
   friend class Network;
+  friend class canopus::runtime::ThreadedRuntime;
   Simulator* sim_ = nullptr;
   Network* net_ = nullptr;
+  runtime::Runtime* rt_ = nullptr;
   NodeId id_ = kInvalidNode;
   Rng rng_{0};
 };

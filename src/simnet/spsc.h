@@ -1,24 +1,37 @@
-// Bounded single-producer/single-consumer ring for cross-shard event
-// hand-off in the sharded (PDES) simulation kernel.
+// Bounded single-producer/single-consumer rings.
 //
-// One ring exists per ordered shard pair with finite lookahead; the
-// producer is the sending shard's worker thread, the consumer the
-// receiving shard's. Slots are preallocated at run_parallel() start and
-// recycled in place, so a steady-state hand-off performs zero heap
-// allocations — the pooled MessageEvent (and the shared Payload inside it)
-// moves through the ring exactly as it would move through the event queue.
+// SpscRing<T> is the generic primitive: a fixed-capacity power-of-two ring
+// of raw slots, elements placement-constructed by the producer and
+// destroyed by the consumer, so a steady-state hand-off performs zero heap
+// allocations and holds no stale copies (a popped Message's Payload
+// reference is released immediately). Two users:
+//
+//  * SpscEventRing (below) — cross-shard event hand-off in the sharded
+//    (PDES) simulation kernel: one ring per ordered shard pair with finite
+//    lookahead; the producer is the sending shard's worker thread, the
+//    consumer the receiving shard's.
+//  * runtime::ThreadedRuntime — per-directed-peer-pair mailboxes carrying
+//    Messages between node threads, and the driver->node injection lane
+//    carrying InlineFn closures (multi-producer fan-in is built as one
+//    SPSC ring per sender plus a polling drain loop; see DESIGN.md §12).
 //
 // Memory order: the producer release-stores tail_ after constructing the
 // slot; the consumer acquire-loads tail_ before reading it, and
 // release-stores head_ after vacating it (the release pairs with the
 // producer's acquire-load of head_ so slot reuse never overlaps a read).
-// Ring-full is resolved by the caller (Simulator::at_message drains its own
+// Head and tail live on separate cache lines so each side spins on the
+// other's counter without invalidating its own. Ring-full is resolved by
+// the caller (the PDES kernel and the threaded runtime both drain their own
 // inbound rings while waiting), never by growing.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -26,27 +39,36 @@
 
 namespace canopus::simnet {
 
-class SpscEventRing {
+template <class T>
+class SpscRing {
  public:
-  struct Slot {
-    Time time = 0;
-    std::uint64_t seq = 0;
-    MessageEvent ev;
-  };
-
-  explicit SpscEventRing(std::size_t capacity_pow2 = 1024)
-      : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : storage_(new Slot[capacity_pow2]), mask_(capacity_pow2 - 1) {
     assert((capacity_pow2 & mask_) == 0 && capacity_pow2 >= 2);
   }
 
-  /// Producer side. Precondition: !full().
-  void push(Time t, std::uint64_t seq, MessageEvent&& ev) {
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  ~SpscRing() {
+    // Single-threaded at destruction; drain whatever the consumer left.
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    Slot& s = slots_[tail & mask_];
-    s.time = t;
-    s.seq = seq;
-    s.ev = std::move(ev);
+    for (; head != tail; ++head) slot(head)->~T();
+  }
+
+  /// Producer side. Precondition: !full().
+  void push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    ::new (static_cast<void*>(slot(tail))) T(std::move(v));
     tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Producer side; false (and `v` untouched) when the ring is full.
+  bool try_push(T&& v) {
+    if (full()) return false;
+    push(std::move(v));
+    return true;
   }
 
   /// Producer side; conservative (may briefly report full while the
@@ -57,33 +79,68 @@ class SpscEventRing {
            mask_;
   }
 
-  /// Consumer side: moves the oldest entry into `out` if one is pending.
-  bool try_pop(Slot& out) {
+  /// Consumer side: moves the oldest entry into `out` and destroys the
+  /// slot (dropping any payload reference) before recycling it.
+  bool try_pop(T& out) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) return false;
-    Slot& s = slots_[head & mask_];
-    out.time = s.time;
-    out.seq = s.seq;
-    out.ev = std::move(s.ev);
-    s.ev.reset();  // drop the payload reference before recycling the slot
+    T* s = slot(head);
+    out = std::move(*s);
+    s->~T();
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// True when the ring holds no entries. Racy by nature; exact only at a
-  /// quiescent point (the coordinator's double-read barrier protocol).
+  /// quiescent point (coordinator barrier / joined threads).
   bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
   }
 
+  std::size_t capacity() const { return mask_ + 1; }
+
  private:
-  std::vector<Slot> slots_;
+  struct alignas(alignof(T)) Slot {
+    unsigned char bytes[sizeof(T)];
+  };
+  T* slot(std::uint64_t i) {
+    return std::launder(reinterpret_cast<T*>(storage_[i & mask_].bytes));
+  }
+
+  std::unique_ptr<Slot[]> storage_;
   std::uint64_t mask_;
-  // Head and tail on separate cache lines: each side spins on the other's
-  // counter without invalidating its own.
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// The PDES kernel's hand-off ring: (time, seq, pooled MessageEvent)
+/// triples, exactly as they would sit in the event queue.
+class SpscEventRing {
+ public:
+  struct Slot {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    MessageEvent ev;
+  };
+
+  explicit SpscEventRing(std::size_t capacity_pow2 = 1024)
+      : ring_(capacity_pow2) {}
+
+  /// Producer side. Precondition: !full().
+  void push(Time t, std::uint64_t seq, MessageEvent&& ev) {
+    ring_.push(Slot{t, seq, std::move(ev)});
+  }
+
+  bool full() const { return ring_.full(); }
+
+  /// Consumer side: moves the oldest entry into `out` if one is pending.
+  bool try_pop(Slot& out) { return ring_.try_pop(out); }
+
+  bool empty() const { return ring_.empty(); }
+
+ private:
+  SpscRing<Slot> ring_;
 };
 
 }  // namespace canopus::simnet

@@ -41,6 +41,16 @@ inline const char* system_name(System s) {
   return "?";
 }
 
+/// Which backend executes the trial: the discrete-event simulator
+/// (deterministic, simulated clock) or runtime::ThreadedRuntime (one OS
+/// thread per node, wall clock, lock-free SPSC mailboxes). Same protocol
+/// code either way — see DESIGN.md §12.
+enum class RuntimeKind { kSim, kThreads };
+
+inline const char* runtime_name(RuntimeKind r) {
+  return r == RuntimeKind::kSim ? "sim" : "threads";
+}
+
 struct TrialConfig {
   System system = System::kCanopus;
 
@@ -72,6 +82,11 @@ struct TrialConfig {
   /// bit-identical either way — the lane-sequence discipline makes event
   /// order independent of the shard map (see DESIGN.md §10).
   unsigned sim_threads = 1;
+
+  /// Execution backend (--runtime=sim|threads). kThreads runs the same
+  /// deployment on real node threads at wall-clock speed; results are then
+  /// hardware-dependent, not deterministic.
+  RuntimeKind runtime = RuntimeKind::kSim;
 
   /// Per-node processing costs. The defaults are calibrated (see
   /// EXPERIMENTS.md) so a single node tops out at a few hundred thousand
@@ -137,7 +152,7 @@ inline lot::LotConfig make_lot_config(const TrialConfig&,
 /// must outlive the simulation run.
 inline std::unique_ptr<ConsensusService> make_group_service(
     const TrialConfig& tc, std::vector<NodeId> servers,
-    const simnet::Topology& topo, simnet::Network& net) {
+    const simnet::Topology& topo, runtime::Host& net) {
   switch (tc.system) {
     case System::kCanopus: {
       lot::LotConfig lc = make_lot_config(servers, topo);
@@ -157,7 +172,7 @@ inline std::unique_ptr<ConsensusService> make_group_service(
 
 inline std::unique_ptr<ConsensusService> make_service(
     const TrialConfig& tc, const simnet::Cluster& cluster,
-    simnet::Network& net) {
+    runtime::Host& net) {
   return make_group_service(tc, cluster.servers, cluster.topo, net);
 }
 
@@ -166,7 +181,7 @@ inline std::unique_ptr<ConsensusService> make_service(
 /// (the paper's client placement). Generation stops at `stop_at`.
 inline std::vector<std::unique_ptr<OpenLoopClient>> attach_clients(
     const TrialConfig& tc, const simnet::Cluster& cluster,
-    simnet::Network& net, std::shared_ptr<LatencyRecorder> recorder,
+    runtime::Host& net, std::shared_ptr<LatencyRecorder> recorder,
     double offered_rate, std::uint64_t trial_seed, Time stop_at) {
   const double per_machine_rate =
       offered_rate / static_cast<double>(cluster.clients.size());
@@ -198,9 +213,15 @@ inline std::vector<std::unique_ptr<OpenLoopClient>> attach_clients(
   return clients;
 }
 
+/// Runs one trial on the threaded runtime (wall-clock; defined in
+/// runtime/threaded_trial.cpp, linked via the canopus_runtime library).
+Measurement run_threaded_trial(const TrialConfig& tc, double offered_rate);
+
 /// Runs one trial at `offered_rate` total requests/second (spread evenly
 /// over all client machines) and reports client-observed completions.
 inline Measurement run_trial(const TrialConfig& tc, double offered_rate) {
+  if (tc.runtime == RuntimeKind::kThreads)
+    return run_threaded_trial(tc, offered_rate);
   // Per-trial derived seed: every offered rate gets its own RNG stream, so
   // a trial's result depends only on (config, rate) — never on which order
   // or thread the harness ran it in — and sweep points are statistically

@@ -62,12 +62,14 @@ class ConsensusService {
   /// arrives as kv::ClientBatch through the network instead.
   virtual void submit(std::size_t i, kv::Request r) = 0;
 
-  /// Crash-stop node i (network + protocol instance).
+  /// Crash-stop node i (network + protocol instance). The protocol-side
+  /// crash runs via Host::post — inline on the simulated backend, inside
+  /// the node thread's execution context on the threaded one.
   void crash(std::size_t i) {
-    net_.crash(servers_[i]);
+    host_.crash(servers_[i]);
     up_[i] = false;
     ever_crashed_[i] = true;
-    node_crash(i);
+    host_.post(servers_[i], [this, i] { node_crash(i); });
   }
 
   /// Restarts node i with its durable state; false if this system cannot
@@ -77,9 +79,9 @@ class ConsensusService {
   /// RecoverArming.
   bool recover(std::size_t i) {
     if (!supports_recover()) return false;
-    net_.recover(servers_[i]);
+    host_.recover(servers_[i]);
     up_[i] = true;
-    node_recover(i);
+    host_.post(servers_[i], [this, i] { node_recover(i); });
     return true;
   }
 
@@ -110,8 +112,8 @@ class ConsensusService {
       on_commit;
 
  protected:
-  ConsensusService(simnet::Network& net, std::vector<NodeId> servers)
-      : net_(net),
+  ConsensusService(runtime::Host& host, std::vector<NodeId> servers)
+      : host_(host),
         servers_(std::move(servers)),
         up_(servers_.size(), true),
         ever_crashed_(servers_.size(), false) {}
@@ -119,7 +121,7 @@ class ConsensusService {
   virtual void node_crash(std::size_t i) = 0;
   virtual void node_recover(std::size_t /*i*/) {}
 
-  simnet::Network& net_;
+  runtime::Host& host_;
   std::vector<NodeId> servers_;
   std::vector<bool> up_;
   std::vector<bool> ever_crashed_;
@@ -134,8 +136,15 @@ class ConsensusService {
 template <class Node>
 class NodeService : public ConsensusService {
  public:
+  /// Routed through Host::post so the protocol instance is only ever
+  /// touched from its own execution context: inline on the simulated
+  /// backend (bit-identical to the direct call), enqueued onto the node's
+  /// injection mailbox on the threaded one. The closure must stay within
+  /// InlineFn's inline budget — no allocation per submission.
   void submit(std::size_t i, kv::Request r) override {
-    nodes_[i]->submit(std::move(r));
+    auto fn = [n = nodes_[i].get(), r]() mutable { n->submit(std::move(r)); };
+    static_assert(simnet::InlineFn::fits_inline<decltype(fn)>);
+    host_.post(servers_[i], std::move(fn));
   }
   std::uint64_t committed_writes(std::size_t i) const override {
     return nodes_[i]->digest().count();
@@ -154,13 +163,13 @@ class NodeService : public ConsensusService {
 
  protected:
   template <class MakeNode>  // MakeNode: size_t -> unique_ptr<Node>
-  NodeService(simnet::Network& net, std::vector<NodeId> servers,
+  NodeService(runtime::Host& host, std::vector<NodeId> servers,
               const MakeNode& make)
-      : ConsensusService(net, std::move(servers)) {
+      : ConsensusService(host, std::move(servers)) {
     nodes_.reserve(servers_.size());
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       nodes_.push_back(make(i));
-      net_.attach(servers_[i], *nodes_.back());
+      host_.attach(servers_[i], *nodes_.back());
     }
   }
 
@@ -178,7 +187,7 @@ class NodeService : public ConsensusService {
 
 class CanopusService final : public NodeService<core::CanopusNode> {
  public:
-  CanopusService(simnet::Network& net, std::vector<NodeId> servers,
+  CanopusService(runtime::Host& net, std::vector<NodeId> servers,
                  const lot::LotConfig& lc, core::Config cfg)
       : CanopusService(net, std::move(servers),
                        std::make_shared<const lot::Lot>(lot::Lot::build(lc)),
@@ -196,7 +205,7 @@ class CanopusService final : public NodeService<core::CanopusNode> {
   const lot::Lot& lot() const { return *lot_; }
 
  private:
-  CanopusService(simnet::Network& net, std::vector<NodeId> servers,
+  CanopusService(runtime::Host& net, std::vector<NodeId> servers,
                  std::shared_ptr<const lot::Lot> lot, core::Config cfg)
       : NodeService(net, std::move(servers),
                     [&](std::size_t) {
@@ -219,7 +228,7 @@ class CanopusService final : public NodeService<core::CanopusNode> {
 
 class RaftService final : public NodeService<raft::RaftKvNode> {
  public:
-  RaftService(simnet::Network& net, std::vector<NodeId> servers,
+  RaftService(runtime::Host& net, std::vector<NodeId> servers,
               raft::KvConfig cfg)
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<raft::RaftKvNode>(servers_, cfg);
@@ -243,7 +252,7 @@ class RaftService final : public NodeService<raft::RaftKvNode> {
 
 class ZabService final : public NodeService<zab::ZabNode> {
  public:
-  ZabService(simnet::Network& net, std::vector<NodeId> servers,
+  ZabService(runtime::Host& net, std::vector<NodeId> servers,
              zab::Config cfg)
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<zab::ZabNode>(servers_, cfg);
@@ -267,7 +276,7 @@ class ZabService final : public NodeService<zab::ZabNode> {
 
 class EPaxosService final : public NodeService<epaxos::EPaxosNode> {
  public:
-  EPaxosService(simnet::Network& net, std::vector<NodeId> servers,
+  EPaxosService(runtime::Host& net, std::vector<NodeId> servers,
                 epaxos::Config cfg)
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<epaxos::EPaxosNode>(servers_, cfg);
