@@ -26,11 +26,25 @@ MEASUREMENT_KEYS = {
 # (system, intensity, seed) grid point and must say how the audit went.
 CHAOS_SERIES_ATTRS = ("system", "intensity", "seed")
 CHAOS_SERIES_SCALARS = (
-    "violations", "fault_events", "acked_writes", "committed_writes",
-    "comparable_nodes", "client_failed", "recovered", "recovery_ms",
-    "availability_storm", "availability_after",
+    "violations", "fault_events", "acked_writes", "observed_reads",
+    "committed_writes", "commit_spread", "comparable_nodes", "client_failed",
+    "recovered", "recovery_ms", "availability_storm", "availability_after",
 )
 CHAOS_SERIES_POINTS = ("before", "storm", "after")
+
+# BENCH_storm_*.json (canopus-storm-v1): a minimized fault schedule emitted
+# by bench_chaos --minimize, replayable from its grid coordinates alone.
+STORM_KEYS = (
+    ("schema", str), ("system", str), ("intensity", str), ("seed", int),
+    ("offered_rate", (int, float)), ("reproduced", bool),
+    ("original_events", int), ("minimal_events", int), ("probes", int),
+    ("duration_shrinks", int), ("events", list),
+)
+STORM_EVENT_KINDS = frozenset((
+    "crash", "recover", "sever", "heal", "cpu_slow", "cpu_normal",
+    "flap_start", "flap_stop", "dup_start", "dup_stop", "reorder_start",
+    "reorder_stop", "skew_set", "skew_clear",
+))
 
 # BENCH_pdes.json carries the sharded-kernel scaling study: every series is
 # one (topology, sim_threads) point, diffed against its serial twin.
@@ -138,7 +152,7 @@ def check_figure(path, doc):
             check_measurement(path, s["max"], f"{where}.max")
         for label, m in s["points"].items():
             check_measurement(path, m, f"{where}.points[{label}]")
-    if doc["figure"] == "chaos":
+    if doc["figure"] in ("chaos", "chaos_wan"):
         check_chaos(path, doc)
     if doc["figure"] == "pdes":
         check_pdes(path, doc)
@@ -300,6 +314,44 @@ def check_runtime(path, doc):
         fail(path, "runtime: need mailbox, calibration and protocol series")
 
 
+def check_storm(path, doc):
+    """canopus-storm-v1: a minimized (or failed-to-reproduce) storm from
+    bench_chaos --minimize. The events array is the exact schedule a replay
+    arms, so every entry must round-trip: a known kind, non-negative time,
+    and the node fields the kind semantics expect."""
+    for key, typ in STORM_KEYS:
+        if key not in doc:
+            fail(path, f"storm: missing key '{key}'")
+        if not isinstance(doc[key], typ) or (
+                typ is int and isinstance(doc[key], bool)):
+            fail(path, f"storm: '{key}' has wrong type {type(doc[key])}")
+    if doc["minimal_events"] != len(doc["events"]):
+        fail(path, "storm: minimal_events does not match the events array")
+    if doc["minimal_events"] > doc["original_events"]:
+        fail(path, "storm: minimizer grew the storm")
+    if doc["probes"] < 1:
+        fail(path, "storm: probes < 1 (the oracle never ran)")
+    prev_at = 0
+    for i, ev in enumerate(doc["events"]):
+        where = f"events[{i}]"
+        for key, typ in [("at_ns", int), ("kind", str), ("a", int),
+                         ("b", int), ("x", (int, float)), ("d_ns", int)]:
+            if key not in ev:
+                fail(path, f"{where}: missing key '{key}'")
+            if not isinstance(ev[key], typ) or isinstance(ev[key], bool):
+                fail(path, f"{where}: '{key}' has wrong type")
+        if ev["kind"] not in STORM_EVENT_KINDS:
+            fail(path, f"{where}: unknown kind '{ev['kind']}'")
+        if ev["at_ns"] < 0:
+            fail(path, f"{where}: negative event time")
+        if ev["at_ns"] < prev_at:
+            fail(path, f"{where}: events not sorted by at_ns")
+        prev_at = ev["at_ns"]
+        if ev["a"] < 0:
+            fail(path, f"{where}: primary node must be a real node id")
+    return
+
+
 def check_micro(path, doc):
     # google-benchmark JSON: context + benchmarks with real_time numbers.
     if "context" not in doc or "benchmarks" not in doc:
@@ -323,6 +375,8 @@ def main(argv):
             fail(path, str(e))
         if isinstance(doc, dict) and doc.get("schema") == "canopus-bench-v1":
             check_figure(path, doc)
+        elif isinstance(doc, dict) and doc.get("schema") == "canopus-storm-v1":
+            check_storm(path, doc)
         else:
             check_micro(path, doc)
         print(f"{path}: OK")

@@ -86,6 +86,14 @@ class Host {
   virtual void sever(NodeId a, NodeId b) = 0;
   virtual void heal(NodeId a, NodeId b) = 0;
 
+  /// Gray fault plane: skews node n's timer arming — a nominal delay
+  /// becomes round(delay / rate) + offset, clamped to >= 0. rate > 1 is a
+  /// fast clock (timers fire early), rate < 1 a slow one; rate 1 with
+  /// offset 0 clears the skew. The simulated backend transforms
+  /// Simulator::after, the threaded backend the wheel arming — the same
+  /// protocol code drifts identically on both (DESIGN.md §13).
+  virtual void set_clock_skew(NodeId n, double rate, Time offset) = 0;
+
   /// Runs `fn` inside node n's execution context: inline for the simulated
   /// backend (the driver thread between run() slices is the context),
   /// enqueued onto the node's injection mailbox for the threaded backend.

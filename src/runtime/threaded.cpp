@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/rng.h"
 
@@ -49,6 +50,10 @@ struct alignas(64) ThreadedRuntime::NodeCell {
   std::size_t overflow_head = 0;
   std::size_t rr = 0;  ///< round-robin cursor over inbound rings
   std::atomic<bool> up{true};
+  /// Gray fault plane: clock-skew transform applied at arm() (see
+  /// Host::set_clock_skew). Driver writes, node thread reads.
+  std::atomic<double> skew_rate{1.0};
+  std::atomic<Time> skew_offset{0};
 
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> delivered{0};
@@ -135,6 +140,12 @@ void ThreadedRuntime::heal(NodeId a, NodeId b) {
     severed_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void ThreadedRuntime::set_clock_skew(NodeId n, double rate, Time offset) {
+  assert(n < cells_.size() && rate > 0);
+  cells_[n]->skew_rate.store(rate, std::memory_order_relaxed);
+  cells_[n]->skew_offset.store(offset, std::memory_order_relaxed);
+}
+
 void ThreadedRuntime::post(NodeId n, simnet::InlineFn fn) {
   assert(n < cells_.size() && cells_[n]->proc != nullptr);
   NodeCell& c = *cells_[n];
@@ -155,7 +166,15 @@ Time ThreadedRuntime::now() const {
 simnet::EventId ThreadedRuntime::arm(Time delay, simnet::InlineFn fn) {
   assert(t_ctx.rt == this && "arm() outside a node execution context");
   NodeCell& me = *cells_[t_ctx.node];
-  return me.wheel.arm(now() + std::max<Time>(delay, 0), std::move(fn));
+  if (delay < 0) delay = 0;
+  // Same clock-skew transform as Simulator::after — the gray fault plane's
+  // drifted timers behave identically on both backends.
+  const double r = me.skew_rate.load(std::memory_order_relaxed);
+  if (r != 1.0)
+    delay = static_cast<Time>(std::llround(static_cast<double>(delay) / r));
+  delay += me.skew_offset.load(std::memory_order_relaxed);
+  if (delay < 0) delay = 0;
+  return me.wheel.arm(now() + delay, std::move(fn));
 }
 
 void ThreadedRuntime::cancel(simnet::EventId id) {

@@ -62,6 +62,9 @@ class ThreadedRuntime final : public Runtime, public Host {
   void recover(NodeId n) override;
   void sever(NodeId a, NodeId b) override;
   void heal(NodeId a, NodeId b) override;
+  /// Per-node clock skew applied at wheel arming (atomic rate/offset; the
+  /// node thread reads them with relaxed loads on every arm()).
+  void set_clock_skew(NodeId n, double rate, Time offset) override;
   void post(NodeId n, simnet::InlineFn fn) override;
   bool is_up(NodeId n) const override;  // final overrider for both facets
 

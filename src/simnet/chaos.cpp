@@ -1,7 +1,10 @@
 #include "simnet/chaos.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace canopus::simnet {
@@ -10,116 +13,237 @@ namespace {
 
 /// Repairs sort before faults at equal timestamps so that replaying the
 /// sorted list in order never observes more concurrent faults than the
-/// generator's own bookkeeping did (a node whose recover ties a later
-/// crash's timestamp frees its blast-radius slot first).
+/// generator's own bookkeeping did (a victim whose repair ties a later
+/// fault's timestamp frees its blast-radius slot first). The relative
+/// order of the pre-gray kinds is unchanged, so classic-only storms sort
+/// exactly as before.
 int kind_rank(FaultEvent::Kind k) {
   switch (k) {
     case FaultEvent::Kind::kRecover: return 0;
     case FaultEvent::Kind::kHeal: return 1;
-    case FaultEvent::Kind::kCrash: return 2;
-    case FaultEvent::Kind::kSever: return 3;
+    case FaultEvent::Kind::kCpuNormal: return 2;
+    case FaultEvent::Kind::kFlapStop: return 3;
+    case FaultEvent::Kind::kDupStop: return 4;
+    case FaultEvent::Kind::kReorderStop: return 5;
+    case FaultEvent::Kind::kSkewClear: return 6;
+    case FaultEvent::Kind::kCrash: return 7;
+    case FaultEvent::Kind::kSever: return 8;
+    case FaultEvent::Kind::kCpuSlow: return 9;
+    case FaultEvent::Kind::kFlapStart: return 10;
+    case FaultEvent::Kind::kDupStart: return 11;
+    case FaultEvent::Kind::kReorderStart: return 12;
+    case FaultEvent::Kind::kSkewSet: return 13;
   }
-  return 4;
+  return 14;
+}
+
+/// The draw loop's kind table, in a FIXED order: the weighted pick walks
+/// it front to back, so adding kinds at the end cannot change the draw
+/// sequence of storms that leave them disabled.
+enum KindIdx : std::size_t {
+  kKCrash = 0,
+  kKSever,
+  kKCpu,
+  kKFlap,
+  kKDup,
+  kKReorder,
+  kKSkew,
+  kNumKinds,
+};
+
+constexpr bool kIsPairKind[kNumKinds] = {false, true,  false, true,
+                                         true,  true,  false};
+
+[[noreturn]] void config_error(const std::string& what) {
+  throw std::invalid_argument("ChaosConfig: " + what);
 }
 
 }  // namespace
 
+void ChaosConfig::validate() const {
+  if (end <= start) config_error("end must be after start");
+  if (min_heal <= 0) config_error("min_heal must be > 0");
+  if (min_heal >= end - start)
+    config_error("min_heal must be < the storm window (end - start)");
+  if (events_per_s < 0) config_error("events_per_s must be >= 0");
+  if (mean_extra < 0) config_error("mean_extra must be >= 0");
+  const std::pair<double, const char*> weights[] = {
+      {crash_weight, "crash_weight"},     {sever_weight, "sever_weight"},
+      {cpu_weight, "cpu_weight"},         {flap_weight, "flap_weight"},
+      {dup_weight, "dup_weight"},         {reorder_weight, "reorder_weight"},
+      {skew_weight, "skew_weight"},
+  };
+  for (const auto& [w, name] : weights)
+    if (w < 0) config_error(std::string(name) + " must be >= 0");
+  if (cpu_weight > 0 && cpu_factor <= 0)
+    config_error("cpu_factor must be > 0 when cpu_weight is enabled");
+  if (flap_weight > 0 && flap_period <= 0)
+    config_error("flap_period must be > 0 when flap_weight is enabled");
+  if (dup_weight > 0 && dup_echo < 0)
+    config_error("dup_echo must be >= 0 when dup_weight is enabled");
+  if (reorder_weight > 0 && reorder_jitter <= 0)
+    config_error("reorder_jitter must be > 0 when reorder_weight is enabled");
+  if (skew_weight > 0 && (skew_rate_lo <= 0 || skew_rate_hi < skew_rate_lo))
+    config_error("skew rates must satisfy 0 < skew_rate_lo <= skew_rate_hi");
+}
+
 FaultSchedule ChaosScheduleGenerator::generate(
     const ChaosConfig& cfg, const std::vector<NodeId>& nodes) {
+  cfg.validate();
   FaultSchedule out;
-  assert(cfg.end > cfg.start && cfg.min_heal > 0);
-  assert(cfg.min_heal < cfg.end - cfg.start);
   if (nodes.empty() || cfg.events_per_s <= 0) return out;
-  const double total_weight = cfg.crash_weight + cfg.sever_weight;
-  if (total_weight <= 0) return out;
 
-  // Active-fault bookkeeping, keyed by the scheduled repair time. An entry
-  // is retired once the injection clock passes its repair, mirroring what a
-  // replay of the final (time-sorted, repairs-first) event list observes.
-  struct DownNode {
-    Time until;
-    NodeId node;
+  const double weight[kNumKinds] = {
+      cfg.crash_weight, cfg.sever_weight,   cfg.cpu_weight, cfg.flap_weight,
+      cfg.dup_weight,   cfg.reorder_weight, cfg.skew_weight,
   };
-  struct SeveredPair {
+  const int cap[kNumKinds] = {
+      cfg.max_down, cfg.max_severed, cfg.max_slow,  cfg.max_flapping,
+      cfg.max_dup,  cfg.max_reorder, cfg.max_skewed,
+  };
+  double all_weight = 0;
+  for (double w : weight) all_weight += w;
+  if (all_weight <= 0) return out;
+
+  // Active-fault bookkeeping per kind, keyed by the scheduled repair time.
+  // An entry is retired once the injection clock passes its repair,
+  // mirroring what a replay of the final (time-sorted, repairs-first)
+  // event list observes. Node kinds leave `b` invalid.
+  struct Active {
     Time until;
     NodeId a, b;
   };
-  std::vector<DownNode> down;
-  std::vector<SeveredPair> severed;
+  std::array<std::vector<Active>, kNumKinds> active;
   std::vector<FaultEvent> events;
 
   const double mean_gap_ns = static_cast<double>(kSecond) / cfg.events_per_s;
   const Time last_injection = cfg.end - cfg.min_heal;
 
   // Injection times form a Poisson process over [start, last_injection];
-  // each draws a fault kind, a victim with blast-radius headroom, and an
+  // each draws a fault kind with blast-radius headroom, a victim, and an
   // exponential duration >= min_heal clipped to heal by `end`.
   Time t = cfg.start;
   for (;;) {
     t += static_cast<Time>(rng_.exponential(mean_gap_ns)) + 1;
     if (t > last_injection) break;
-    down.erase(std::remove_if(down.begin(), down.end(),
-                              [t](const DownNode& d) { return d.until <= t; }),
-               down.end());
-    severed.erase(
-        std::remove_if(severed.begin(), severed.end(),
-                       [t](const SeveredPair& s) { return s.until <= t; }),
-        severed.end());
+    for (auto& list : active)
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [t](const Active& f) { return f.until <= t; }),
+                 list.end());
 
-    const bool crash_ok =
-        cfg.crash_weight > 0 &&
-        down.size() < static_cast<std::size_t>(std::max(cfg.max_down, 0)) &&
-        down.size() < nodes.size();
-    const bool sever_ok =
-        cfg.sever_weight > 0 && nodes.size() >= 2 &&
-        severed.size() < static_cast<std::size_t>(std::max(cfg.max_severed, 0));
-    if (!crash_ok && !sever_ok) continue;  // at the blast radius: drop it
+    bool ok[kNumKinds];
+    double ok_weight = 0;
+    std::size_t ok_count = 0, only = 0;
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      const std::size_t headroom =
+          static_cast<std::size_t>(std::max(cap[k], 0));
+      ok[k] = weight[k] > 0 && active[k].size() < headroom &&
+              (kIsPairKind[k] ? nodes.size() >= 2
+                              : active[k].size() < nodes.size());
+      if (ok[k]) {
+        ok_weight += weight[k];
+        ++ok_count;
+        only = k;
+      }
+    }
+    if (ok_count == 0) continue;  // at the blast radius: drop this one
 
-    bool crash = crash_ok;
-    if (crash_ok && sever_ok)
-      crash = rng_.uniform() * total_weight < cfg.crash_weight;
+    // Weighted kind pick. A single eligible kind is taken without a draw —
+    // this keeps the RNG stream (and therefore every committed storm)
+    // byte-identical to the pre-gray generator when only crash/sever are
+    // enabled.
+    std::size_t kind = only;
+    if (ok_count > 1) {
+      double u = rng_.uniform() * ok_weight;
+      for (std::size_t k = 0; k < kNumKinds; ++k) {
+        if (!ok[k]) continue;
+        if (u < weight[k]) {
+          kind = k;
+          break;
+        }
+        u -= weight[k];
+      }
+    }
 
     const Time extra = static_cast<Time>(
         rng_.exponential(static_cast<double>(cfg.mean_extra)));
     const Time repair = std::min(cfg.end, t + cfg.min_heal + extra);
 
-    if (crash) {
-      // Victim: uniform over currently-up nodes.
-      std::vector<NodeId> up;
-      up.reserve(nodes.size());
+    NodeId a = kInvalidNode, b = kInvalidNode;
+    if (!kIsPairKind[kind]) {
+      // Victim: uniform over nodes this kind is not currently hitting.
+      std::vector<NodeId> free;
+      free.reserve(nodes.size());
       for (NodeId n : nodes) {
-        bool is_down = false;
-        for (const DownNode& d : down) is_down |= d.node == n;
-        if (!is_down) up.push_back(n);
+        bool hit = false;
+        for (const Active& f : active[kind]) hit |= f.a == n;
+        if (!hit) free.push_back(n);
       }
-      const NodeId victim = up[rng_.below(up.size())];
-      events.push_back({t, FaultEvent::Kind::kCrash, victim, kInvalidNode});
-      events.push_back(
-          {repair, FaultEvent::Kind::kRecover, victim, kInvalidNode});
-      down.push_back({repair, victim});
+      a = free[rng_.below(free.size())];
     } else {
-      // Victim pair: a uniform directed pair not currently severed. The
-      // pair space is tiny (n*(n-1) for cluster-sized n), so rejection
-      // sampling against the active set terminates quickly; bail to the
-      // next injection if the space is saturated.
-      NodeId a = kInvalidNode, b = kInvalidNode;
+      // Victim pair: a uniform directed pair this kind is not currently
+      // hitting. The pair space is tiny (n*(n-1) for cluster-sized n), so
+      // rejection sampling against the active set terminates quickly; bail
+      // to the next injection if the space is saturated.
       for (int attempt = 0; attempt < 64; ++attempt) {
         const NodeId ca = nodes[rng_.below(nodes.size())];
         const NodeId cb = nodes[rng_.below(nodes.size())];
         if (ca == cb) continue;
-        bool active = false;
-        for (const SeveredPair& s : severed)
-          active |= s.a == ca && s.b == cb;
-        if (active) continue;
+        bool hit = false;
+        for (const Active& f : active[kind]) hit |= f.a == ca && f.b == cb;
+        if (hit) continue;
         a = ca;
         b = cb;
         break;
       }
       if (a == kInvalidNode) continue;
-      events.push_back({t, FaultEvent::Kind::kSever, a, b});
-      events.push_back({repair, FaultEvent::Kind::kHeal, a, b});
-      severed.push_back({repair, a, b});
     }
+
+    switch (kind) {
+      case kKCrash:
+        events.push_back({t, FaultEvent::Kind::kCrash, a, kInvalidNode, 0, 0});
+        events.push_back(
+            {repair, FaultEvent::Kind::kRecover, a, kInvalidNode, 0, 0});
+        break;
+      case kKSever:
+        events.push_back({t, FaultEvent::Kind::kSever, a, b, 0, 0});
+        events.push_back({repair, FaultEvent::Kind::kHeal, a, b, 0, 0});
+        break;
+      case kKCpu:
+        events.push_back({t, FaultEvent::Kind::kCpuSlow, a, kInvalidNode,
+                          cfg.cpu_factor, 0});
+        events.push_back(
+            {repair, FaultEvent::Kind::kCpuNormal, a, kInvalidNode, 0, 0});
+        break;
+      case kKFlap:
+        events.push_back(
+            {t, FaultEvent::Kind::kFlapStart, a, b, 0, cfg.flap_period});
+        events.push_back({repair, FaultEvent::Kind::kFlapStop, a, b, 0, 0});
+        break;
+      case kKDup:
+        events.push_back(
+            {t, FaultEvent::Kind::kDupStart, a, b, 0, cfg.dup_echo});
+        events.push_back({repair, FaultEvent::Kind::kDupStop, a, b, 0, 0});
+        break;
+      case kKReorder:
+        events.push_back(
+            {t, FaultEvent::Kind::kReorderStart, a, b, 0, cfg.reorder_jitter});
+        events.push_back(
+            {repair, FaultEvent::Kind::kReorderStop, a, b, 0, 0});
+        break;
+      case kKSkew: {
+        const double rate =
+            cfg.skew_rate_lo +
+            rng_.uniform() * (cfg.skew_rate_hi - cfg.skew_rate_lo);
+        events.push_back({t, FaultEvent::Kind::kSkewSet, a, kInvalidNode, rate,
+                          cfg.skew_offset});
+        events.push_back(
+            {repair, FaultEvent::Kind::kSkewClear, a, kInvalidNode, 0, 0});
+        break;
+      }
+      default: assert(false);
+    }
+    active[kind].push_back({repair, a, b});
   }
 
   std::stable_sort(events.begin(), events.end(),
@@ -127,14 +251,10 @@ FaultSchedule ChaosScheduleGenerator::generate(
                      if (x.at != y.at) return x.at < y.at;
                      return kind_rank(x.kind) < kind_rank(y.kind);
                    });
-  for (const FaultEvent& ev : events) {
-    switch (ev.kind) {
-      case FaultEvent::Kind::kCrash: out.crash_at(ev.at, ev.a); break;
-      case FaultEvent::Kind::kRecover: out.recover_at(ev.at, ev.a); break;
-      case FaultEvent::Kind::kSever: out.sever_at(ev.at, ev.a, ev.b); break;
-      case FaultEvent::Kind::kHeal: out.heal_at(ev.at, ev.a, ev.b); break;
-    }
-  }
+  // Raw append: the generator enforces its own pairing/blast-radius
+  // structure, and the builder-level sever dedup must not second-guess a
+  // sorted storm.
+  for (const FaultEvent& ev : events) out.add(ev);
   return out;
 }
 

@@ -10,6 +10,16 @@ const char* fault_kind_name(FaultEvent::Kind k) {
     case FaultEvent::Kind::kRecover: return "recover";
     case FaultEvent::Kind::kSever: return "sever";
     case FaultEvent::Kind::kHeal: return "heal";
+    case FaultEvent::Kind::kCpuSlow: return "cpu_slow";
+    case FaultEvent::Kind::kCpuNormal: return "cpu_normal";
+    case FaultEvent::Kind::kFlapStart: return "flap_start";
+    case FaultEvent::Kind::kFlapStop: return "flap_stop";
+    case FaultEvent::Kind::kDupStart: return "dup_start";
+    case FaultEvent::Kind::kDupStop: return "dup_stop";
+    case FaultEvent::Kind::kReorderStart: return "reorder_start";
+    case FaultEvent::Kind::kReorderStop: return "reorder_stop";
+    case FaultEvent::Kind::kSkewSet: return "skew_set";
+    case FaultEvent::Kind::kSkewClear: return "skew_clear";
   }
   return "?";
 }
@@ -20,6 +30,18 @@ void FaultSchedule::apply(Network& net, const FaultEvent& ev) {
     case FaultEvent::Kind::kRecover: net.recover(ev.a); break;
     case FaultEvent::Kind::kSever: net.sever(ev.a, ev.b); break;
     case FaultEvent::Kind::kHeal: net.heal(ev.a, ev.b); break;
+    case FaultEvent::Kind::kCpuSlow: net.set_cpu_factor(ev.a, ev.x); break;
+    case FaultEvent::Kind::kCpuNormal: net.set_cpu_factor(ev.a, 1.0); break;
+    case FaultEvent::Kind::kFlapStart: net.flap(ev.a, ev.b, ev.d); break;
+    case FaultEvent::Kind::kFlapStop: net.flap_stop(ev.a, ev.b); break;
+    case FaultEvent::Kind::kDupStart: net.duplicate(ev.a, ev.b, ev.d); break;
+    case FaultEvent::Kind::kDupStop: net.duplicate_stop(ev.a, ev.b); break;
+    case FaultEvent::Kind::kReorderStart: net.reorder(ev.a, ev.b, ev.d); break;
+    case FaultEvent::Kind::kReorderStop: net.reorder_stop(ev.a, ev.b); break;
+    case FaultEvent::Kind::kSkewSet:
+      net.set_clock_skew(ev.a, ev.x, ev.d);
+      break;
+    case FaultEvent::Kind::kSkewClear: net.set_clock_skew(ev.a, 1.0, 0); break;
   }
 }
 

@@ -1,17 +1,22 @@
 // FaultSchedule: deterministic, simulation-time-scheduled fault injection.
 //
-// A schedule is an ordered list of crash / recover / sever / heal events,
-// each pinned to an absolute simulation time. Arming the schedule turns
-// every event into one simulator event; because the simulator is
-// deterministic, two runs with the same schedule produce bit-identical
-// fault timings — which is what lets the failure benches compare systems
-// under *identical* fault histories, and lets parallel trial execution stay
-// bit-identical to serial.
+// A schedule is an ordered list of fault events, each pinned to an absolute
+// simulation time. Arming the schedule turns every event into one simulator
+// event; because the simulator is deterministic, two runs with the same
+// schedule produce bit-identical fault timings — which is what lets the
+// failure benches compare systems under *identical* fault histories, and
+// lets parallel trial execution stay bit-identical to serial.
 //
-// The schedule only knows the Network primitives (crash/recover/sever/heal,
-// network.h). Protocols that need node-level crash handling on top (Canopus
-// silencing its broadcast groups, a Raft member stopping its timers) hook
-// the per-event `apply` callback the workload layer supplies — see
+// Two fault families (DESIGN.md §9, §13):
+//  * fail-stop: crash/recover a node, sever/heal a directed pair;
+//  * gray failures: degraded CPU (slow, not dead), flapping links, message
+//    duplication, bounded reordering, and per-node clock skew — the
+//    failures that page people without tripping a liveness detector.
+//
+// The schedule only knows the Network primitives (network.h). Protocols
+// that need node-level crash handling on top (Canopus silencing its
+// broadcast groups, a Raft member stopping its timers) hook the per-event
+// `apply` callback the workload layer supplies — see
 // workload/fault_scenario.h.
 #pragma once
 
@@ -24,11 +29,32 @@
 namespace canopus::simnet {
 
 struct FaultEvent {
-  enum class Kind { kCrash, kRecover, kSever, kHeal };
+  enum class Kind {
+    kCrash,
+    kRecover,
+    kSever,
+    kHeal,
+    // Gray-failure palette. Each fault is a [start, stop] window; the
+    // parameters ride in `x`/`d` so one event is self-contained and a
+    // schedule replays without external state.
+    kCpuSlow,      ///< node a: compute costs multiplied by x until kCpuNormal
+    kCpuNormal,    ///< node a: compute cost multiplier back to 1
+    kFlapStart,    ///< pair a->b: link oscillates down/up with full period d
+    kFlapStop,     ///< pair a->b: flapping ends (link stays up)
+    kDupStart,     ///< pair a->b: every message also delivered again +d later
+    kDupStop,      ///< pair a->b: duplication ends
+    kReorderStart, ///< pair a->b: per-message seeded delivery jitter in [0,d]
+    kReorderStop,  ///< pair a->b: reordering ends
+    kSkewSet,      ///< node a: timer clock runs at rate x with constant lag d
+    kSkewClear,    ///< node a: clock back to rate 1, lag 0
+  };
   Time at = 0;
   Kind kind = Kind::kCrash;
-  NodeId a = kInvalidNode;  ///< the node (crash/recover) or the source (sever/heal)
-  NodeId b = kInvalidNode;  ///< the destination (sever/heal only)
+  NodeId a = kInvalidNode;  ///< the node (node faults) or the source (pair faults)
+  NodeId b = kInvalidNode;  ///< the destination (pair faults only)
+  double x = 0;  ///< CPU factor (kCpuSlow) or clock rate (kSkewSet)
+  Time d = 0;    ///< flap period / dup echo delay / reorder jitter bound /
+                 ///< skew offset
 };
 
 const char* fault_kind_name(FaultEvent::Kind k);
@@ -36,21 +62,29 @@ const char* fault_kind_name(FaultEvent::Kind k);
 class FaultSchedule {
  public:
   FaultSchedule& crash_at(Time t, NodeId n) {
-    events_.push_back({t, FaultEvent::Kind::kCrash, n, kInvalidNode});
+    events_.push_back({t, FaultEvent::Kind::kCrash, n, kInvalidNode, 0, 0});
     return *this;
   }
   FaultSchedule& recover_at(Time t, NodeId n) {
-    events_.push_back({t, FaultEvent::Kind::kRecover, n, kInvalidNode});
+    events_.push_back({t, FaultEvent::Kind::kRecover, n, kInvalidNode, 0, 0});
     return *this;
   }
   /// Severs the directed pair a -> b (messages a -> b are dropped;
   /// b -> a still flows — this is what makes partitions *asymmetric*).
+  /// Idempotent within one schedule: severing a pair that a prior event
+  /// already left severed is dropped, so replays that count sever/heal
+  /// events (the generator's max_severed accounting, the minimizer's
+  /// pairing) never double-book a pair. Judged in builder-call order.
   FaultSchedule& sever_at(Time t, NodeId a, NodeId b) {
-    events_.push_back({t, FaultEvent::Kind::kSever, a, b});
+    if (sever_balance(a, b) > 0) return *this;
+    events_.push_back({t, FaultEvent::Kind::kSever, a, b, 0, 0});
     return *this;
   }
+  /// Heals a -> b. Idempotent like sever_at: a heal of a pair the schedule
+  /// does not currently leave severed is dropped.
   FaultSchedule& heal_at(Time t, NodeId a, NodeId b) {
-    events_.push_back({t, FaultEvent::Kind::kHeal, a, b});
+    if (sever_balance(a, b) <= 0) return *this;
+    events_.push_back({t, FaultEvent::Kind::kHeal, a, b, 0, 0});
     return *this;
   }
   /// Symmetric partition helpers: sever/heal both directions.
@@ -59,6 +93,58 @@ class FaultSchedule {
   }
   FaultSchedule& join_at(Time t, NodeId a, NodeId b) {
     return heal_at(t, a, b).heal_at(t, b, a);
+  }
+
+  // --- gray-failure palette (DESIGN.md §13) ----------------------------
+  FaultSchedule& cpu_slow_at(Time t, NodeId n, double factor) {
+    events_.push_back(
+        {t, FaultEvent::Kind::kCpuSlow, n, kInvalidNode, factor, 0});
+    return *this;
+  }
+  FaultSchedule& cpu_normal_at(Time t, NodeId n) {
+    events_.push_back({t, FaultEvent::Kind::kCpuNormal, n, kInvalidNode, 0, 0});
+    return *this;
+  }
+  FaultSchedule& flap_at(Time t, NodeId a, NodeId b, Time period) {
+    events_.push_back({t, FaultEvent::Kind::kFlapStart, a, b, 0, period});
+    return *this;
+  }
+  FaultSchedule& flap_stop_at(Time t, NodeId a, NodeId b) {
+    events_.push_back({t, FaultEvent::Kind::kFlapStop, a, b, 0, 0});
+    return *this;
+  }
+  FaultSchedule& dup_at(Time t, NodeId a, NodeId b, Time echo_delay) {
+    events_.push_back({t, FaultEvent::Kind::kDupStart, a, b, 0, echo_delay});
+    return *this;
+  }
+  FaultSchedule& dup_stop_at(Time t, NodeId a, NodeId b) {
+    events_.push_back({t, FaultEvent::Kind::kDupStop, a, b, 0, 0});
+    return *this;
+  }
+  FaultSchedule& reorder_at(Time t, NodeId a, NodeId b, Time max_jitter) {
+    events_.push_back({t, FaultEvent::Kind::kReorderStart, a, b, 0, max_jitter});
+    return *this;
+  }
+  FaultSchedule& reorder_stop_at(Time t, NodeId a, NodeId b) {
+    events_.push_back({t, FaultEvent::Kind::kReorderStop, a, b, 0, 0});
+    return *this;
+  }
+  FaultSchedule& skew_at(Time t, NodeId n, double rate, Time offset) {
+    events_.push_back({t, FaultEvent::Kind::kSkewSet, n, kInvalidNode, rate,
+                       offset});
+    return *this;
+  }
+  FaultSchedule& skew_clear_at(Time t, NodeId n) {
+    events_.push_back({t, FaultEvent::Kind::kSkewClear, n, kInvalidNode, 0, 0});
+    return *this;
+  }
+
+  /// Raw append, bypassing the builders' bookkeeping. For callers that
+  /// enforce their own structure: the chaos generator's sorted rebuild and
+  /// the minimizer's subset replays (storm_minimizer.h).
+  FaultSchedule& add(const FaultEvent& ev) {
+    events_.push_back(ev);
+    return *this;
   }
 
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -89,6 +175,18 @@ class FaultSchedule {
   void arm(Network& net, ApplyFn hook = {}) const;
 
  private:
+  /// Net sever count for the directed pair in builder-call order: > 0 means
+  /// the schedule's own events leave the pair severed at this point.
+  int sever_balance(NodeId a, NodeId b) const {
+    int bal = 0;
+    for (const FaultEvent& ev : events_) {
+      if (ev.a != a || ev.b != b) continue;
+      if (ev.kind == FaultEvent::Kind::kSever) ++bal;
+      if (ev.kind == FaultEvent::Kind::kHeal) --bal;
+    }
+    return bal;
+  }
+
   std::vector<FaultEvent> events_;
 };
 

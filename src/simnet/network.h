@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -46,6 +47,8 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies injected by dup windows
+  std::uint64_t reordered = 0;   ///< sends that drew a reorder jitter
 };
 
 /// Network is also the simulated backend's runtime::Host: drivers written
@@ -72,7 +75,7 @@ class Network : public MessageEventTarget, public runtime::Host {
   void busy(NodeId n, Time cost) {
     if (cost <= 0) return;
     const Time now = sim_.now();
-    cpu_free_[n] = std::max(now, cpu_free_[n]) + cost;
+    cpu_free_[n] = std::max(now, cpu_free_[n]) + scaled_cpu(n, cost);
   }
 
   // --- fault injection -----------------------------------------------
@@ -82,6 +85,35 @@ class Network : public MessageEventTarget, public runtime::Host {
   /// Severs/heals the directed pair a -> b.
   void sever(NodeId a, NodeId b) override;
   void heal(NodeId a, NodeId b) override;
+
+  // --- gray-failure fault plane (DESIGN.md §13) -----------------------
+  // All of these mutate only scalar per-node slots or map *structure*;
+  // under sharded execution they are driven by fault events, which fire at
+  // control barriers with every worker parked — the same write discipline
+  // as up_/severed_.
+  /// Multiplies node n's compute costs (send/recv/busy) by `factor` (> 0);
+  /// 1.0 restores normal speed. A degraded node is slow, not dead.
+  void set_cpu_factor(NodeId n, double factor);
+  double cpu_factor(NodeId n) const { return cpu_factor_[n]; }
+  /// The directed pair a -> b oscillates: down for the first half of every
+  /// `period` (> 0), up for the second, phase-anchored at the current time.
+  void flap(NodeId a, NodeId b, Time period);
+  void flap_stop(NodeId a, NodeId b);
+  /// Every message a -> b is delivered twice; the echo enters the wire
+  /// `echo_delay` after the original.
+  void duplicate(NodeId a, NodeId b, Time echo_delay);
+  void duplicate_stop(NodeId a, NodeId b);
+  /// Every message a -> b has a seeded per-message jitter in [0, max_jitter]
+  /// added before its first hop, so back-to-back sends can swap on the wire.
+  /// The jitter stream is a pure function of (trial seed, pair, message
+  /// count on the pair) — deterministic under any shard map, because only
+  /// the source node's lane ever draws from it.
+  void reorder(NodeId a, NodeId b, Time max_jitter);
+  void reorder_stop(NodeId a, NodeId b);
+  /// Skews node n's timer clock (Simulator::after): nominal delays divide
+  /// by `rate` and stretch by `offset`. Host-seam parity with the threaded
+  /// backend's wheel-arming skew (runtime/threaded.h).
+  void set_clock_skew(NodeId n, double rate, Time offset) override;
 
   /// Host::post — simulated backend: the caller is already the (only)
   /// execution thread, so the closure runs inline.
@@ -97,6 +129,8 @@ class Network : public MessageEventTarget, public runtime::Host {
       total.messages += s.stats.messages;
       total.bytes += s.stats.bytes;
       total.dropped += s.stats.dropped;
+      total.duplicated += s.stats.duplicated;
+      total.reordered += s.stats.reordered;
     }
     return total;
   }
@@ -167,6 +201,36 @@ class Network : public MessageEventTarget, public runtime::Host {
     return slots_[sim_.exec_shard(static_cast<std::uint32_t>(slots_.size() - 1))];
   }
 
+  /// Gray fault state. The maps are structurally mutated only at control
+  /// barriers (fault events); between barriers, workers only read them —
+  /// except a reorder entry's RNG, whose single writer is the pair's
+  /// source-node lane (owned by exactly one shard).
+  struct FlapState {
+    Time origin = 0;
+    Time period = 0;
+  };
+  struct ReorderState {
+    Time max_jitter = 0;
+    Rng rng{0};
+  };
+
+  /// A flapped pair is dark during the first half of every period.
+  bool flap_down(std::uint64_t key, Time now) const {
+    auto it = flapping_.find(key);
+    if (it == flapping_.end()) return false;
+    const FlapState& f = it->second;
+    return (now - f.origin) % f.period < f.period / 2;
+  }
+
+  /// Compute-cost scaling for degraded nodes. factor == 1.0 returns `cost`
+  /// unchanged (no FP round trip), so runs without CPU faults are
+  /// bit-identical to builds that predate the gray palette.
+  Time scaled_cpu(NodeId n, Time cost) const {
+    const double f = cpu_factor_[n];
+    if (f == 1.0) return cost;
+    return static_cast<Time>(std::llround(static_cast<double>(cost) * f));
+  }
+
   Simulator& sim_;
   Topology topo_;
   CpuModel cpu_;
@@ -178,6 +242,10 @@ class Network : public MessageEventTarget, public runtime::Host {
   std::vector<Time> cpu_backlog_;
   std::vector<Time> link_backlog_;
   std::unordered_set<std::uint64_t> severed_;
+  std::vector<double> cpu_factor_;  ///< per node; 1.0 = full speed
+  std::unordered_map<std::uint64_t, FlapState> flapping_;
+  std::unordered_map<std::uint64_t, Time> dup_echo_;
+  std::unordered_map<std::uint64_t, ReorderState> reorder_;
   std::vector<CostMemo> link_memo_;  ///< per link: last serialize time
   std::vector<ShardSlot> slots_;     ///< [num_shards] + control slot
   TraceFn trace_;

@@ -95,6 +95,9 @@ void Simulator::install(const ShardMap& map, std::vector<Time> lookahead,
   cur_lane_ = control_lane_;
   lane_ctr_.assign(nodes + links + 1, 0);
   lane_shard_.resize(nodes + links);
+  skew_rate_.assign(nodes, 1.0);
+  skew_offset_.assign(nodes, 0);
+  skewed_nodes_ = 0;
   for (std::size_t n = 0; n < nodes; ++n) lane_shard_[n] = map.node_shard[n];
   for (std::size_t l = 0; l < links; ++l)
     lane_shard_[nodes + l] = map.link_shard[l];
@@ -113,6 +116,15 @@ void Simulator::install(const ShardMap& map, std::vector<Time> lookahead,
     }
   }
   configured_ = true;
+}
+
+void Simulator::set_clock_skew(NodeId n, double rate, Time offset) {
+  assert(n < num_nodes_ && rate > 0);
+  const bool was = skew_rate_[n] != 1.0 || skew_offset_[n] != 0;
+  const bool is = rate != 1.0 || offset != 0;
+  skew_rate_[n] = rate;
+  skew_offset_[n] = offset;
+  skewed_nodes_ += static_cast<int>(is) - static_cast<int>(was);
 }
 
 void Simulator::configure_shards(const Topology& topo, ShardMap map) {

@@ -45,6 +45,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -120,9 +121,23 @@ class Simulator {
   EventId at(Time abs_time, InlineFn fn);
 
   EventId after(Time delay, InlineFn fn) {
+    if (delay < 0) delay = 0;
+    // Per-node clock skew (gray fault plane, DESIGN.md §13): a skewed
+    // node's nominal delay is transformed at arming time. skewed_nodes_
+    // is only written by fault events at control barriers (workers
+    // parked), so the guard read is race-free under sharded execution.
+    if (skewed_nodes_ != 0) delay = skewed_delay(delay);
     const Time base = now();
-    return at(base + (delay < 0 ? 0 : delay), std::move(fn));
+    return at(base + delay, std::move(fn));
   }
+
+  /// Skews node n's timer clock: delays armed via after() from n's
+  /// execution context become round(delay / rate) + offset (clamped >= 0).
+  /// rate > 1 is a fast clock (timers fire early), rate < 1 a slow one;
+  /// offset is a constant lag. rate 1 / offset 0 clears the skew. Call
+  /// from control context only (fault events, setup code) — the tables
+  /// are read by every worker.
+  void set_clock_skew(NodeId n, double rate, Time offset);
 
   /// Schedules `fn` on node `n`'s lane from OUTSIDE execution (attach-time
   /// on_start hooks). The closure runs in n's shard, and everything it
@@ -254,6 +269,27 @@ class Simulator {
   Rng rng_;
   std::uint64_t events_ = 0;
 
+  /// The lane whose execution context is scheduling right now: the firing
+  /// event's lane inside a handler, the control lane otherwise.
+  std::uint32_t ctx_lane() const {
+    return tl_ctx_.sim == this ? tl_ctx_.lane : cur_lane_;
+  }
+
+  /// Applies the scheduling context's node skew to a nominal timer delay.
+  /// Only node lanes skew — link and control lanes keep true time (faults
+  /// and audit probes must fire when the schedule says, not when a drifted
+  /// node thinks they should).
+  Time skewed_delay(Time delay) const {
+    const std::uint32_t lane = ctx_lane();
+    if (lane >= num_nodes_) return delay;
+    const double r = skew_rate_[lane];
+    if (r != 1.0)
+      delay = static_cast<Time>(
+          std::llround(static_cast<double>(delay) / r));
+    delay += skew_offset_[lane];
+    return delay < 0 ? 0 : delay;
+  }
+
   // Lane tables: nodes 0..N-1, links N..N+L-1, control N+L (largest).
   std::size_t num_nodes_ = 0;
   std::size_t num_links_ = 0;
@@ -261,6 +297,13 @@ class Simulator {
   bool configured_ = false;  ///< a topology's map was installed
   std::vector<std::uint64_t> lane_ctr_;
   std::vector<std::uint32_t> lane_shard_;  ///< per non-control lane
+
+  // Per-node clock skew (set_clock_skew). Written at control barriers
+  // only; the barrier handshake publishes the writes to workers, exactly
+  // like up_/severed_ in the Network.
+  std::vector<double> skew_rate_;
+  std::vector<Time> skew_offset_;
+  int skewed_nodes_ = 0;  ///< nonzero skews in flight (hot-path guard)
 
   EventQueue ctl_q_;  ///< control-lane events; fired at barriers
   std::vector<std::unique_ptr<Shard>> shards_;

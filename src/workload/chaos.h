@@ -30,7 +30,10 @@
 
 namespace canopus::workload {
 
-/// One point on the storm-intensity axis.
+/// One point on the storm-intensity axis. The trailing weights select the
+/// fault palette (simnet::ChaosConfig): the classic fail-stop kinds default
+/// on, the gray kinds default off, so pre-gray intensity literals mean what
+/// they always did.
 struct ChaosIntensity {
   std::string name;
   double events_per_s = 10.0;  ///< mean fault injections per second
@@ -38,6 +41,14 @@ struct ChaosIntensity {
   int max_severed = 2;         ///< blast radius: concurrent severed pairs
   Time min_heal = 120 * kMillisecond;
   Time mean_extra = 200 * kMillisecond;
+
+  double crash_weight = 1.0;
+  double sever_weight = 1.0;
+  double cpu_weight = 0;      ///< gray: degraded-CPU nodes
+  double flap_weight = 0;     ///< gray: flapping links
+  double dup_weight = 0;      ///< gray: message duplication
+  double reorder_weight = 0;  ///< gray: bounded delivery reordering
+  double skew_weight = 0;     ///< gray: clock skew on timer arming
 };
 
 /// The standard intensity grid. The blast radius never exceeds a minority
@@ -50,6 +61,41 @@ inline std::vector<ChaosIntensity> standard_intensities() {
       {"medium", 10.0, 2, 2, 120 * kMillisecond, 200 * kMillisecond},
       {"high", 25.0, 2, 4, 100 * kMillisecond, 150 * kMillisecond},
   };
+}
+
+/// The gray-failure axis: one pure storm per gray kind (crash/sever off,
+/// exactly one gray weight on), so a violation or a digest drift points at
+/// a single fault primitive. Rates are moderate — gray faults overlap
+/// (flap + skew on one node is legal), the per-kind caps bound each kind.
+inline std::vector<ChaosIntensity> gray_intensities() {
+  std::vector<ChaosIntensity> out;
+  const char* names[] = {"gray-cpu", "gray-flap", "gray-dup", "gray-reorder",
+                         "gray-skew"};
+  for (int k = 0; k < 5; ++k) {
+    ChaosIntensity ci;
+    ci.name = names[k];
+    ci.events_per_s = 8.0;
+    ci.min_heal = 150 * kMillisecond;
+    ci.mean_extra = 200 * kMillisecond;
+    ci.crash_weight = 0;
+    ci.sever_weight = 0;
+    (k == 0   ? ci.cpu_weight
+     : k == 1 ? ci.flap_weight
+     : k == 2 ? ci.dup_weight
+     : k == 3 ? ci.reorder_weight
+              : ci.skew_weight) = 1.0;
+    out.push_back(std::move(ci));
+  }
+  // The composite: the whole palette at once, classic kinds included.
+  ChaosIntensity mix;
+  mix.name = "gray-mix";
+  mix.events_per_s = 12.0;
+  mix.min_heal = 120 * kMillisecond;
+  mix.mean_extra = 180 * kMillisecond;
+  mix.cpu_weight = mix.flap_weight = mix.dup_weight = mix.reorder_weight =
+      mix.skew_weight = 1.0;
+  out.push_back(std::move(mix));
+  return out;
 }
 
 /// Chaos-plane tuning on top of fault_tuned: storms produce long random
@@ -105,6 +151,9 @@ struct ChaosResult {
   std::uint64_t acked_writes = 0;
   std::uint64_t observed_reads = 0;
   std::uint64_t committed_writes = 0;  ///< max over comparable nodes
+  std::uint64_t commit_spread = 0;     ///< max - min over comparable nodes;
+                                       ///< prefix lag, not a violation
+                                       ///< (gates only via the auditor)
   std::uint64_t fingerprint = 0;  ///< commit fingerprint of the first
                                   ///< comparable node (golden pinning)
   std::size_t comparable_nodes = 0;
@@ -130,13 +179,59 @@ inline std::uint64_t chaos_salt(const std::string& s) {
   return h;
 }
 
-inline ChaosResult run_chaos_trial(const TrialConfig& tc,
-                                   const ChaosIntensity& ci,
-                                   const FaultTiming& ft,
-                                   double offered_rate) {
-  const std::uint64_t trial_seed = derive_seed(
+/// The trial's root seed: a pure function of the sweep coordinates, shared
+/// by run_chaos_trial and the out-of-band storm reconstruction below so a
+/// minimizer probe replays the exact storm of a red grid point.
+inline std::uint64_t chaos_trial_seed(const TrialConfig& tc,
+                                      const ChaosIntensity& ci,
+                                      double offered_rate) {
+  return derive_seed(
       derive_seed(tc.seed, std::bit_cast<std::uint64_t>(offered_rate)),
       chaos_salt(ci.name));
+}
+
+/// Maps an intensity point onto the generator config for one storm window.
+inline simnet::ChaosConfig chaos_config_for(const ChaosIntensity& ci,
+                                            const FaultTiming& ft) {
+  simnet::ChaosConfig cc;
+  cc.start = ft.fault_at;
+  cc.end = ft.heal_at;
+  cc.events_per_s = ci.events_per_s;
+  cc.max_down = ci.max_down;
+  cc.max_severed = ci.max_severed;
+  cc.min_heal = ci.min_heal;
+  cc.mean_extra = ci.mean_extra;
+  cc.crash_weight = ci.crash_weight;
+  cc.sever_weight = ci.sever_weight;
+  cc.cpu_weight = ci.cpu_weight;
+  cc.flap_weight = ci.flap_weight;
+  cc.dup_weight = ci.dup_weight;
+  cc.reorder_weight = ci.reorder_weight;
+  cc.skew_weight = ci.skew_weight;
+  return cc;
+}
+
+/// Reconstructs the exact storm a grid point would draw, without running
+/// the trial — the starting point for StormMinimizer.
+inline simnet::FaultSchedule chaos_storm(const TrialConfig& tc,
+                                         const ChaosIntensity& ci,
+                                         const FaultTiming& ft,
+                                         double offered_rate) {
+  const simnet::Cluster cluster = build_cluster(tc);
+  simnet::ChaosScheduleGenerator gen(
+      derive_seed(chaos_trial_seed(tc, ci, offered_rate), 0xc4a0c5ULL));
+  return gen.generate(chaos_config_for(ci, ft), cluster.servers);
+}
+
+/// Runs one chaos trial. When `storm_override` is non-null the trial arms
+/// that schedule verbatim instead of drawing one — everything else (seeds,
+/// clients, audit plane) is identical, which is what lets the minimizer
+/// probe candidate sub-storms against the same workload.
+inline ChaosResult run_chaos_trial(
+    const TrialConfig& tc, const ChaosIntensity& ci, const FaultTiming& ft,
+    double offered_rate,
+    const simnet::FaultSchedule* storm_override = nullptr) {
+  const std::uint64_t trial_seed = chaos_trial_seed(tc, ci, offered_rate);
   simnet::Simulator sim(trial_seed);
 
   simnet::Cluster cluster = build_cluster(tc);
@@ -158,16 +253,13 @@ inline ChaosResult run_chaos_trial(const TrialConfig& tc,
   auditor.attach(*service, clients, sim, ft.warmup, ft.end_at + ft.drain);
 
   // The storm: drawn from its own derived seed, armed through the service.
-  simnet::ChaosConfig cc;
-  cc.start = ft.fault_at;
-  cc.end = ft.heal_at;
-  cc.events_per_s = ci.events_per_s;
-  cc.max_down = ci.max_down;
-  cc.max_severed = ci.max_severed;
-  cc.min_heal = ci.min_heal;
-  cc.mean_extra = ci.mean_extra;
-  simnet::ChaosScheduleGenerator gen(derive_seed(trial_seed, 0xc4a0c5ULL));
-  const simnet::FaultSchedule storm = gen.generate(cc, cluster.servers);
+  simnet::FaultSchedule drawn;
+  if (storm_override == nullptr) {
+    simnet::ChaosScheduleGenerator gen(derive_seed(trial_seed, 0xc4a0c5ULL));
+    drawn = gen.generate(chaos_config_for(ci, ft), cluster.servers);
+  }
+  const simnet::FaultSchedule& storm =
+      storm_override != nullptr ? *storm_override : drawn;
   // Tolerate mode: storms arm recovers against Canopus on purpose — nodes
   // darkening over a storm's lifetime is the documented §4.6 trade whose
   // availability cost this bench measures.
@@ -192,14 +284,20 @@ inline ChaosResult run_chaos_trial(const TrialConfig& tc,
   res.violation_details = auditor.violations();
   res.acked_writes = auditor.acked_writes();
   res.observed_reads = auditor.observed_reads();
+  std::uint64_t min_committed = 0;
   for (std::size_t i = 0; i < service->num_servers(); ++i) {
     if (!service->comparable(i)) continue;
-    if (res.comparable_nodes == 0)
+    const std::uint64_t committed = auditor.committed_writes(i);
+    if (res.comparable_nodes == 0) {
       res.fingerprint = service->commit_fingerprint(i);
+      min_committed = committed;
+    }
     ++res.comparable_nodes;
-    res.committed_writes =
-        std::max(res.committed_writes, auditor.committed_writes(i));
+    res.committed_writes = std::max(res.committed_writes, committed);
+    min_committed = std::min(min_committed, committed);
   }
+  if (res.comparable_nodes > 0)
+    res.commit_spread = res.committed_writes - min_committed;
   for (const auto& c : clients) res.client_failed += c->failed();
   const Time first = recorder->first_post_storm_completion();
   res.recovered = first >= 0;

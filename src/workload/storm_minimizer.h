@@ -1,0 +1,330 @@
+// StormMinimizer: ddmin delta debugging over chaos storms (DESIGN.md §13).
+//
+// A red chaos grid point hands the operator a storm of dozens of
+// fault/repair pairs, almost all of which are noise. The minimizer shrinks
+// it to a locally-minimal sub-storm that still trips an oracle (normally
+// "run_chaos_trial with this schedule override reports violations"), in
+// two passes:
+//
+//  1. Event-subset removal — classic ddmin (Zeller & Hildebrandt) over
+//     *units*, where a unit is a fault together with its matching repair
+//     (removing a crash but keeping its recover would probe schedules the
+//     generator can never emit). Try n subsets, then their complements;
+//     on success recurse into the smaller schedule, otherwise double the
+//     granularity. The result is 1-minimal at unit granularity: removing
+//     any single remaining unit makes the violation vanish.
+//  2. Duration shrinking — for each surviving unit, repeatedly halve the
+//     repair's distance from its fault (floored at `min_duration`) while
+//     the oracle still fires. Runs after removal on purpose: shorter
+//     faults are weaker, so shrinking first would mask removable units.
+//
+// Probes are full deterministic trials, so the whole reduction is itself
+// deterministic: same storm + same oracle => same minimal schedule. The
+// minimal storm serializes as a replayable JSON artifact
+// (canopus-storm-v1) that bench_chaos --minimize emits and
+// tools/validate_bench_json.py checks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simnet/fault_schedule.h"
+
+namespace canopus::workload {
+
+struct MinimizeOptions {
+  /// Probe budget across both passes; each probe is one oracle call (one
+  /// full trial for the real oracle). ddmin on a k-unit storm needs
+  /// O(k log k) probes when most units are noise, worst-case O(k^2).
+  std::size_t max_probes = 400;
+  bool shrink_durations = true;
+  /// Floor on fault duration during shrinking (also the shrink
+  /// granularity: a pass stops once the fault->repair gap reaches it).
+  Time min_duration = kMillisecond;
+};
+
+struct MinimizeResult {
+  /// False when the oracle rejected the *full* storm — nothing to
+  /// minimize (the caller's grid point was green, or the oracle is
+  /// mis-wired). `minimal` then holds the untouched input.
+  bool reproduced = false;
+  simnet::FaultSchedule minimal;
+  std::size_t original_events = 0;
+  std::size_t minimal_events = 0;
+  std::size_t probes = 0;           ///< oracle calls actually spent
+  std::size_t duration_shrinks = 0; ///< accepted repair-time halvings
+};
+
+class StormMinimizer {
+ public:
+  /// Returns true when the candidate schedule still reproduces the
+  /// failure. Must be deterministic and must not retain the reference.
+  using Oracle = std::function<bool(const simnet::FaultSchedule&)>;
+
+  explicit StormMinimizer(Oracle oracle, MinimizeOptions opt = {})
+      : oracle_(std::move(oracle)), opt_(opt) {}
+
+  MinimizeResult minimize(const simnet::FaultSchedule& storm) {
+    probes_ = 0;
+    MinimizeResult res;
+    res.original_events = storm.events().size();
+
+    // `events` keeps the original (time-sorted) order; units hold indices
+    // into it and rebuilds filter + re-sort, so candidate schedules are
+    // exactly "the storm with some fault/repair pairs deleted".
+    std::vector<simnet::FaultEvent> events = storm.events();
+    std::vector<Unit> units = make_units(events);
+
+    if (!probe(storm)) {
+      res.minimal = storm;
+      res.minimal_events = events.size();
+      res.probes = probes_;
+      return res;
+    }
+    res.reproduced = true;
+
+    std::vector<std::size_t> kept = ddmin(events, units);
+    if (opt_.shrink_durations)
+      res.duration_shrinks = shrink(events, units, kept);
+
+    const std::vector<simnet::FaultEvent> final_events =
+        rebuild(events, units, kept);
+    for (const simnet::FaultEvent& ev : final_events) res.minimal.add(ev);
+    res.minimal_events = final_events.size();
+    res.probes = probes_;
+    return res;
+  }
+
+ private:
+  /// One removable unit: the event indices of a fault and its matching
+  /// repair. Unpaired events (a storm truncated by hand) become singleton
+  /// units, so the minimizer still accepts them.
+  struct Unit {
+    std::vector<std::size_t> indices;
+  };
+
+  static bool is_start(simnet::FaultEvent::Kind k) {
+    using K = simnet::FaultEvent::Kind;
+    return k == K::kCrash || k == K::kSever || k == K::kCpuSlow ||
+           k == K::kFlapStart || k == K::kDupStart || k == K::kReorderStart ||
+           k == K::kSkewSet;
+  }
+
+  /// Pairing key: fault family + victim. A repair closes the OLDEST open
+  /// start with its key (generator storms never nest same-key pairs, so
+  /// this is exact for them).
+  static std::uint64_t unit_key(const simnet::FaultEvent& ev) {
+    using K = simnet::FaultEvent::Kind;
+    int family = 0;
+    bool pair = false;
+    switch (ev.kind) {
+      case K::kCrash: case K::kRecover: family = 0; break;
+      case K::kSever: case K::kHeal: family = 1; pair = true; break;
+      case K::kCpuSlow: case K::kCpuNormal: family = 2; break;
+      case K::kFlapStart: case K::kFlapStop: family = 3; pair = true; break;
+      case K::kDupStart: case K::kDupStop: family = 4; pair = true; break;
+      case K::kReorderStart: case K::kReorderStop:
+        family = 5; pair = true; break;
+      case K::kSkewSet: case K::kSkewClear: family = 6; break;
+    }
+    const std::uint64_t b = pair ? ev.b : kInvalidNode;
+    return (static_cast<std::uint64_t>(family) << 56) ^
+           (static_cast<std::uint64_t>(ev.a) << 24) ^ b;
+  }
+
+  static std::vector<Unit> make_units(
+      const std::vector<simnet::FaultEvent>& events) {
+    std::vector<Unit> units;
+    std::vector<std::pair<std::uint64_t, std::size_t>> open;  // key -> unit
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const std::uint64_t key = unit_key(events[i]);
+      if (is_start(events[i].kind)) {
+        units.push_back({{i}});
+        open.emplace_back(key, units.size() - 1);
+      } else {
+        auto it = std::find_if(open.begin(), open.end(),
+                               [key](const auto& o) { return o.first == key; });
+        if (it != open.end()) {
+          units[it->second].indices.push_back(i);
+          open.erase(it);
+        } else {
+          units.push_back({{i}});
+        }
+      }
+    }
+    return units;
+  }
+
+  static std::vector<std::size_t> all_of(std::size_t n) {
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i;
+    return v;
+  }
+
+  /// Filters the original event list down to the kept units and re-sorts
+  /// by time (stable, so the generator's repairs-first tie order
+  /// survives). Re-sorting matters once shrink() moves repair times.
+  static std::vector<simnet::FaultEvent> rebuild(
+      const std::vector<simnet::FaultEvent>& events,
+      const std::vector<Unit>& units, const std::vector<std::size_t>& kept) {
+    std::vector<char> keep(events.size(), 0);
+    for (std::size_t u : kept)
+      for (std::size_t i : units[u].indices) keep[i] = 1;
+    std::vector<simnet::FaultEvent> out;
+    for (std::size_t i = 0; i < events.size(); ++i)
+      if (keep[i]) out.push_back(events[i]);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const simnet::FaultEvent& x,
+                        const simnet::FaultEvent& y) { return x.at < y.at; });
+    return out;
+  }
+
+  bool probe(const simnet::FaultSchedule& candidate) {
+    ++probes_;
+    return oracle_(candidate);
+  }
+
+  bool probe_units(const std::vector<simnet::FaultEvent>& events,
+                   const std::vector<Unit>& units,
+                   const std::vector<std::size_t>& kept) {
+    simnet::FaultSchedule candidate;
+    for (const simnet::FaultEvent& ev : rebuild(events, units, kept))
+      candidate.add(ev);
+    return probe(candidate);
+  }
+
+  /// Classic ddmin over unit ids. Returns the kept (1-minimal) subset.
+  std::vector<std::size_t> ddmin(const std::vector<simnet::FaultEvent>& events,
+                                 const std::vector<Unit>& units) {
+    std::vector<std::size_t> cur = all_of(units.size());
+    std::size_t n = 2;
+    while (cur.size() >= 2 && probes_ < opt_.max_probes) {
+      const std::size_t len = cur.size();
+      bool reduced = false;
+      // Subsets: does one n-th of the storm already violate?
+      for (std::size_t i = 0; i < n && !reduced; ++i) {
+        if (probes_ >= opt_.max_probes) break;
+        std::vector<std::size_t> sub(cur.begin() + (i * len) / n,
+                                     cur.begin() + ((i + 1) * len) / n);
+        if (sub.empty() || sub.size() == len) continue;
+        if (probe_units(events, units, sub)) {
+          cur = std::move(sub);
+          n = 2;
+          reduced = true;
+        }
+      }
+      // Complements: can one n-th be removed? (At n == 2 a complement IS
+      // the other subset, already probed above.)
+      if (!reduced && n > 2) {
+        for (std::size_t i = 0; i < n && !reduced; ++i) {
+          if (probes_ >= opt_.max_probes) break;
+          std::vector<std::size_t> rest(cur.begin(), cur.begin() + (i * len) / n);
+          rest.insert(rest.end(), cur.begin() + ((i + 1) * len) / n, cur.end());
+          if (rest.empty() || rest.size() == len) continue;
+          if (probe_units(events, units, rest)) {
+            cur = std::move(rest);
+            n = n > 3 ? n - 1 : 2;
+            reduced = true;
+          }
+        }
+      }
+      if (!reduced) {
+        if (n >= cur.size()) break;  // 1-minimal at unit granularity
+        n = std::min(n * 2, cur.size());
+      }
+    }
+    return cur;
+  }
+
+  /// Halves each surviving fault's duration toward `min_duration` while
+  /// the oracle still fires. Mutates repair times in `events` in place (the
+  /// kept set is fixed by now). Returns accepted halvings.
+  std::size_t shrink(std::vector<simnet::FaultEvent>& events,
+                     const std::vector<Unit>& units,
+                     const std::vector<std::size_t>& kept) {
+    std::size_t accepted = 0;
+    for (std::size_t u : kept) {
+      if (units[u].indices.size() != 2) continue;
+      std::size_t si = units[u].indices[0], ri = units[u].indices[1];
+      if (!is_start(events[si].kind)) std::swap(si, ri);
+      while (probes_ < opt_.max_probes) {
+        const Time gap = events[ri].at - events[si].at;
+        if (gap <= opt_.min_duration) break;
+        const Time cand = events[si].at + std::max(opt_.min_duration, gap / 2);
+        if (cand >= events[ri].at) break;
+        const Time saved = events[ri].at;
+        events[ri].at = cand;
+        if (probe_units(events, units, kept)) {
+          ++accepted;
+        } else {
+          events[ri].at = saved;
+          break;
+        }
+      }
+    }
+    return accepted;
+  }
+
+  Oracle oracle_;
+  MinimizeOptions opt_;
+  std::size_t probes_ = 0;
+};
+
+/// Metadata stamped into the canopus-storm-v1 artifact: the grid
+/// coordinates that replay the minimal storm, plus reduction stats.
+struct StormJsonMeta {
+  std::string system;
+  std::string intensity;
+  std::uint64_t seed = 0;
+  double offered_rate = 0;
+  bool reproduced = false;
+  std::size_t original_events = 0;
+  std::size_t probes = 0;
+  std::size_t duration_shrinks = 0;
+};
+
+/// Serializes a (minimal) storm as a replayable canopus-storm-v1 JSON
+/// document. Doubles print with %.17g so a schedule re-parsed from the
+/// artifact is bit-identical to the one that tripped the oracle.
+inline void storm_to_json(std::FILE* f, const simnet::FaultSchedule& storm,
+                          const StormJsonMeta& meta) {
+  auto str = [f](const std::string& s) {
+    std::fputc('"', f);
+    for (const char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', f);
+      std::fputc(c, f);
+    }
+    std::fputc('"', f);
+  };
+  std::fputs("{\"schema\":\"canopus-storm-v1\",\"system\":", f);
+  str(meta.system);
+  std::fputs(",\"intensity\":", f);
+  str(meta.intensity);
+  std::fprintf(f,
+               ",\"seed\":%llu,\"offered_rate\":%.17g,\"reproduced\":%s,"
+               "\"original_events\":%zu,\"minimal_events\":%zu,"
+               "\"probes\":%zu,\"duration_shrinks\":%zu,\"events\":[",
+               static_cast<unsigned long long>(meta.seed), meta.offered_rate,
+               meta.reproduced ? "true" : "false", meta.original_events,
+               storm.events().size(), meta.probes, meta.duration_shrinks);
+  for (std::size_t i = 0; i < storm.events().size(); ++i) {
+    const simnet::FaultEvent& ev = storm.events()[i];
+    std::fprintf(f,
+                 "%s{\"at_ns\":%lld,\"kind\":\"%s\",\"a\":%lld,\"b\":%lld,"
+                 "\"x\":%.17g,\"d_ns\":%lld}",
+                 i == 0 ? "" : ",", static_cast<long long>(ev.at),
+                 simnet::fault_kind_name(ev.kind),
+                 static_cast<long long>(ev.a),
+                 ev.b == kInvalidNode ? -1LL : static_cast<long long>(ev.b),
+                 ev.x, static_cast<long long>(ev.d));
+  }
+  std::fputs("]}\n", f);
+}
+
+}  // namespace canopus::workload

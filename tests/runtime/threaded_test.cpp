@@ -172,6 +172,48 @@ TEST(ThreadedRuntime, SeverIsDirectedHealRestores) {
   rt.stop();
 }
 
+// Arms one nominal-delay timer on start and records when it ran.
+class OneShot : public simnet::Process {
+ public:
+  OneShot(Time delay, std::atomic<int>& seq) : delay_(delay), seq_(seq) {}
+  void on_start() override {
+    after(delay_, [this] {
+      order.store(seq_.fetch_add(1), std::memory_order_relaxed);
+      fired.store(true, std::memory_order_release);
+    });
+  }
+  void on_message(const Message&) override {}
+
+  std::atomic<bool> fired{false};
+  std::atomic<int> order{-1};
+
+ private:
+  Time delay_;
+  std::atomic<int>& seq_;
+};
+
+TEST(ThreadedRuntime, ClockSkewAcceleratesTimerArming) {
+  // Both nodes arm the same nominal 200 ms one-shot; node 1 runs at rate
+  // 4.0, so its timer arms at ~50 ms wall while node 0's cannot fire
+  // before 200 ms (the wheel never fires early). The 150 ms cushion
+  // dwarfs scheduler jitter even on a loaded CI box — a rate-ratio
+  // assertion here would flake under oversubscription, where wakeup
+  // latency, not the armed delay, paces short timers.
+  ThreadedRuntime rt(2, 1);
+  std::atomic<int> seq{0};
+  OneShot nominal(200 * kMillisecond, seq), skewed(200 * kMillisecond, seq);
+  rt.attach(0, nominal);
+  rt.attach(1, skewed);
+  rt.set_clock_skew(1, /*rate=*/4.0, /*offset=*/0);
+  rt.start();
+  ASSERT_TRUE(wait_for([&] { return skewed.fired.load(); }));
+  EXPECT_FALSE(nominal.fired.load())
+      << "unskewed 200 ms timer fired within the skewed node's ~50 ms";
+  ASSERT_TRUE(wait_for([&] { return nominal.fired.load(); }));
+  EXPECT_LT(skewed.order.load(), nominal.order.load());
+  rt.stop();
+}
+
 TEST(ThreadedRuntime, ManyNodesAllToAll) {
   constexpr int kN = 5;
   ThreadedRuntime rt(kN, 7);

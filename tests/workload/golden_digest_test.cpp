@@ -162,5 +162,95 @@ INSTANTIATE_TEST_SUITE_P(AllSystems, ChaosGoldenDigest,
                            return std::string(system_name(info.param.system));
                          });
 
+// --------------------------------------------------------------------------
+// Gray-storm goldens (ISSUE 9): the gray-mix intensity draws all five gray
+// fault kinds (cpu-slow, flapping, duplication, reordering, clock skew) in
+// one storm. Pins the storm shape and surviving history at seed 42, requires
+// a clean audit, and replays the SAME trial under the parallel event kernel
+// (sim_threads = 2) demanding bit-identical results — gray fault state must
+// stay deterministic under sharded execution.
+// --------------------------------------------------------------------------
+
+struct GrayGolden {
+  System system;
+  std::uint64_t fault_events;
+  std::uint64_t fingerprint;
+  std::uint64_t committed;
+  std::uint64_t acked;
+  std::uint64_t comparable;
+};
+
+// Captured with the exact setup below. The seed-42 storm draws all seven
+// kinds (crash, sever, cpu-slow, flap, dup, reorder, skew); Canopus loses
+// the one crashed pnode for good (no rejoin path), so 8 nodes stay
+// comparable and two tail acks are lost.
+constexpr GrayGolden kGrayGolden[] = {
+    {System::kCanopus, 12, 0x3337b47b266ef7e2ULL, 7656, 7654, 8},
+    {System::kRaft, 12, 0x953287f0c5147056ULL, 7080, 7080, 9},
+    {System::kZab, 12, 0x2aa353e92ab93e6eULL, 7079, 7079, 9},
+    {System::kEPaxos, 12, 0xd0dcbda5b3f395a3ULL, 8068, 8068, 9},
+};
+
+class GrayChaosGoldenDigest : public ::testing::TestWithParam<GrayGolden> {};
+
+TEST_P(GrayChaosGoldenDigest, GrayMixStormPinsAndReplaysAcrossSimThreads) {
+  const GrayGolden& g = GetParam();
+  TrialConfig tc;
+  tc.system = g.system;
+  tc.groups = 3;
+  tc.per_group = 3;
+  tc.client_machines = 2;
+  tc.write_ratio = 0.5;
+  tc.seed = 42;
+  tc = chaos_tuned(tc);
+
+  FaultTiming ft;
+  ft.warmup = 100 * kMillisecond;
+  ft.fault_at = 250 * kMillisecond;
+  ft.heal_at = 850 * kMillisecond;
+  ft.end_at = 1'100 * kMillisecond;
+  ft.drain = 400 * kMillisecond;
+  tc.warmup = ft.warmup;
+
+  // gray-mix densified so the seed-42 storm draws every kind in the
+  // palette (at the bench rate of 12/s this seed happens to draw only
+  // reorder and dup — too thin for a full-palette pin).
+  ChaosIntensity mix = gray_intensities().back();
+  ASSERT_EQ(mix.name, "gray-mix");
+  mix.events_per_s = 40.0;
+
+  const ChaosResult r = run_chaos_trial(tc, mix, ft, 15'000.0);
+
+  EXPECT_EQ(r.violations, 0u) << r.system;
+  for (const AuditViolation& v : r.violation_details)
+    ADD_FAILURE() << r.system << ": " << audit_violation_name(v.kind) << ": "
+                  << v.detail;
+
+  EXPECT_EQ(r.fault_events, g.fault_events) << r.system;
+  EXPECT_EQ(r.fingerprint, g.fingerprint) << r.system;
+  EXPECT_EQ(r.committed_writes, g.committed) << r.system;
+  EXPECT_EQ(r.acked_writes, g.acked) << r.system;
+  EXPECT_EQ(r.comparable_nodes, g.comparable) << r.system;
+
+  // Same trial under the sharded parallel kernel: every observable must be
+  // bit-identical to the serial run.
+  TrialConfig ptc = tc;
+  ptc.sim_threads = 2;
+  const ChaosResult p = run_chaos_trial(ptc, mix, ft, 15'000.0);
+  EXPECT_EQ(p.violations, 0u) << p.system;
+  EXPECT_EQ(p.fault_events, r.fault_events) << p.system;
+  EXPECT_EQ(p.fingerprint, r.fingerprint) << p.system;
+  EXPECT_EQ(p.committed_writes, r.committed_writes) << p.system;
+  EXPECT_EQ(p.acked_writes, r.acked_writes) << p.system;
+  EXPECT_EQ(p.comparable_nodes, r.comparable_nodes) << p.system;
+  EXPECT_EQ(p.commit_spread, r.commit_spread) << p.system;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, GrayChaosGoldenDigest,
+                         ::testing::ValuesIn(kGrayGolden),
+                         [](const auto& info) {
+                           return std::string(system_name(info.param.system));
+                         });
+
 }  // namespace
 }  // namespace canopus::workload
