@@ -403,6 +403,7 @@ int main(int argc, char** argv) {
   });
 
   std::uint64_t violations_total = 0;
+  std::uint64_t retention_breaches = 0;
   std::string last_system;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const ChaosResult& r = results[i];
@@ -424,6 +425,7 @@ int main(int argc, char** argv) {
                   .c_str()
             : "no post-storm completion");
     violations_total += r.violations;
+    if (!r.retention_ok) ++retention_breaches;
     for (const AuditViolation& v : r.violation_details)
       std::printf("      !! %s at t=%lld ms: %s\n",
                   audit_violation_name(v.kind),
@@ -448,6 +450,11 @@ int main(int argc, char** argv) {
                 r.recovered
                     ? static_cast<double>(r.recovery_ns) / kMillisecond
                     : -1)
+        .scalar("snapshots_installed",
+                static_cast<double>(r.snapshots_installed))
+        .scalar("log_entries_retained",
+                static_cast<double>(r.max_log_retained))
+        .scalar("retention_ok", r.retention_ok ? 1 : 0)
         .scalar("availability_storm", r.storm.throughput / rate)
         .scalar("availability_after", r.after.throughput / rate)
         .point("before", r.before)
@@ -483,11 +490,17 @@ int main(int argc, char** argv) {
   }
 
   h.add_scalar("violations_total", static_cast<double>(violations_total));
-  std::printf("\ninvariant violations: %llu\n",
-              static_cast<unsigned long long>(violations_total));
-  // Gate on the auditor ALONE — in WAN mode prefix lag across DCs
-  // (commit_spread) is expected during storms and is reported per series,
-  // never gated (the bench_failures --wan relaxation).
+  h.add_scalar("retention_breaches", static_cast<double>(retention_breaches));
+  std::printf("\ninvariant violations: %llu   retention breaches: %llu\n",
+              static_cast<unsigned long long>(violations_total),
+              static_cast<unsigned long long>(retention_breaches));
+  // Gate on the auditor plus the compaction bound — in WAN mode prefix lag
+  // across DCs (commit_spread) is expected during storms and is reported
+  // per series, never gated (the bench_failures --wan relaxation). A node
+  // retaining more log than its configured bound is a compaction bug at
+  // any latitude.
   const int json_rc = h.finish();
-  return json_rc != 0 ? json_rc : (violations_total > 0 ? 2 : 0);
+  return json_rc != 0
+             ? json_rc
+             : (violations_total > 0 || retention_breaches > 0 ? 2 : 0);
 }

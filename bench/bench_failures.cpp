@@ -12,7 +12,13 @@
 // Emits BENCH_failures.json (canopus-bench-v1): one series per
 // (system, scenario) with points "before"/"during"/"after" and scalars
 //   digests_agree, stalled_during, progressed_after, committed_writes,
-//   comparable_nodes, availability_during (throughput/offered).
+//   comparable_nodes, availability_during (throughput/offered),
+//   snapshots_installed, log_entries_retained, retention_ok (ISSUE 10:
+//   the compaction/state-transfer verdict — a retention breach counts as
+//   a safety violation).
+// The non-WAN suite includes long_downtime: an outage long enough that
+// every system's repair window overflows and catch-up must go through
+// snapshot/state transfer (the Canopus sponsored rejoin).
 // The trial matrix runs on the shared TrialPool; every trial builds an
 // isolated simulator from a derived seed, so results are bit-identical to
 // a serial run regardless of --threads.
@@ -34,8 +40,16 @@ int main(int argc, char** argv) {
   using namespace canopus;
   using namespace canopus::workload;
   bool wan = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string_view(argv[i]) == "--wan") wan = true;
+  std::string only_scenario;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a == "--wan") wan = true;
+    // Bisection filter: run one scenario across every system (same trial
+    // seeds as the full matrix — filtering changes WHICH trials run,
+    // never their bits). The ctest long_downtime smoke uses this.
+    if (a.rfind("--scenario=", 0) == 0)
+      only_scenario = std::string(a.substr(11));
+  }
   bench::Harness h(
       argc, argv, wan ? "failures_wan" : "failures",
       wan ? "Geo-failover: whole-datacenter outage on the Table 1 topology"
@@ -77,35 +91,55 @@ int main(int argc, char** argv) {
   }
   const double rate = wan ? 6'000 : 20'000;
 
+  // Scenarios carry their own timing: the standard suite shares `ft`, but
+  // long_downtime needs an outage long enough to overflow every repair
+  // window (ISSUE 10) — it would be a plain single_node_crash under `ft`.
   std::vector<FaultScenario> scenarios;
+  std::vector<FaultTiming> timings;
   if (wan) {
     scenarios.push_back(dc_outage_scenario(0, per_group, ft));  // leader DC
     scenarios.push_back(dc_outage_scenario(1, per_group, ft));
+    timings.assign(scenarios.size(), ft);
   } else {
     scenarios = standard_scenarios(groups, per_group, ft);
+    timings.assign(scenarios.size(), ft);
+    const FaultTiming ldt = long_downtime_timing();
+    scenarios.push_back(long_downtime_scenario(per_group, ldt));
+    timings.push_back(ldt);
   }
 
   // Flatten the (system x scenario) matrix for the pool; results land by
   // index, which keeps the output identical for any thread count.
   struct Job {
     System system;
-    const FaultScenario* scenario;
+    std::size_t scenario;
   };
+  std::vector<std::size_t> selected;
+  for (std::size_t sc = 0; sc < scenarios.size(); ++sc)
+    if (only_scenario.empty() || scenarios[sc].name == only_scenario)
+      selected.push_back(sc);
+  if (selected.empty()) {
+    std::fprintf(stderr, "error: --scenario=%s matched nothing\n",
+                 only_scenario.c_str());
+    return 1;
+  }
   std::vector<Job> jobs;
   for (System sys : kAllSystems)
-    for (const FaultScenario& sc : scenarios) jobs.push_back({sys, &sc});
+    for (std::size_t sc : selected) jobs.push_back({sys, sc});
 
   std::vector<ScenarioResult> results(jobs.size());
   h.pool().run_indexed(jobs.size(), [&](std::size_t i) {
     TrialConfig tc = base;
     tc.system = jobs[i].system;
-    results[i] = run_fault_scenario(tc, *jobs[i].scenario, ft, rate);
+    tc.warmup = timings[jobs[i].scenario].warmup;
+    results[i] = run_fault_scenario(tc, scenarios[jobs[i].scenario],
+                                    timings[jobs[i].scenario], rate);
   });
 
   int violations = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const ScenarioResult& r = results[i];
-    if (i % scenarios.size() == 0)
+    if (i % selected.size() == 0)
       std::printf("\n--- %s ---\n", system_name(jobs[i].system));
     char fo[32];
     if (r.failed_over())
@@ -119,20 +153,23 @@ int main(int argc, char** argv) {
         100 * r.during.throughput / rate, 100 * r.after.throughput / rate, fo,
         r.digests_agree ? "agree" : "DIVERGED",
         r.stalled_during() ? " (stalled)" : "");
+    const FaultScenario& scen = scenarios[jobs[i].scenario];
     if (!r.safe()) ++violations;
     // Every scenario heals and drains, so comparable nodes must converge
     // to the same commit count — EXCEPT a system stalled by majority loss
     // (Canopus survivors freeze a broadcast apart and the dead super-leaf
     // never rejoins).
-    if (r.commit_spread > 0 &&
-        !(jobs[i].scenario->majority_loss && r.stalled_during()))
+    if (r.commit_spread > 0 && !(scen.majority_loss && r.stalled_during()))
       ++violations;
     // Canopus must stall (not diverge) when a super-leaf loses its
     // majority — §6's documented trade. (Other systems may also pause:
     // the crashed majority includes server 0, the Zab/Raft leader.)
-    if (jobs[i].scenario->majority_loss &&
-        jobs[i].system == System::kCanopus && !r.stalled_during())
+    if (scen.majority_loss && jobs[i].system == System::kCanopus &&
+        !r.stalled_during())
       ++violations;
+    // Compaction contract: no node may retain more log than its configured
+    // bound, in any scenario. A breach is a real bug, not a tuning issue.
+    if (!r.retention_ok) ++violations;
 
     auto& sr = h.add_series(std::string(system_name(jobs[i].system)) + " / " +
                             r.scenario);
@@ -146,6 +183,11 @@ int main(int argc, char** argv) {
         .scalar("comparable_nodes",
                 static_cast<double>(r.comparable_nodes))
         .scalar("commit_spread", static_cast<double>(r.commit_spread))
+        .scalar("snapshots_installed",
+                static_cast<double>(r.snapshots_installed))
+        .scalar("log_entries_retained",
+                static_cast<double>(r.max_log_retained))
+        .scalar("retention_ok", r.retention_ok ? 1 : 0)
         .scalar("availability_during", r.during.throughput / rate)
         .scalar("failover_ms",
                 r.failed_over() ? static_cast<double>(r.failover_ns) / 1e6

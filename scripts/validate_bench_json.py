@@ -28,9 +28,23 @@ CHAOS_SERIES_ATTRS = ("system", "intensity", "seed")
 CHAOS_SERIES_SCALARS = (
     "violations", "fault_events", "acked_writes", "observed_reads",
     "committed_writes", "commit_spread", "comparable_nodes", "client_failed",
-    "recovered", "recovery_ms", "availability_storm", "availability_after",
+    "recovered", "recovery_ms", "snapshots_installed", "log_entries_retained",
+    "retention_ok", "availability_storm", "availability_after",
 )
 CHAOS_SERIES_POINTS = ("before", "storm", "after")
+
+# BENCH_failures.json / BENCH_failures_wan.json: one series per
+# (system, scenario) with the availability/safety verdict plus the
+# compaction/state-transfer verdict (snapshots installed during catch-up,
+# peak retained log vs the configured bound).
+FAILURES_SERIES_ATTRS = ("system", "scenario")
+FAILURES_SERIES_SCALARS = (
+    "digests_agree", "stalled_during", "progressed_after",
+    "committed_writes", "comparable_nodes", "commit_spread",
+    "snapshots_installed", "log_entries_retained", "retention_ok",
+    "availability_during", "failover_ms",
+)
+FAILURES_SERIES_POINTS = ("before", "during", "after")
 
 # BENCH_storm_*.json (canopus-storm-v1): a minimized fault schedule emitted
 # by bench_chaos --minimize, replayable from its grid coordinates alone.
@@ -154,6 +168,8 @@ def check_figure(path, doc):
             check_measurement(path, m, f"{where}.points[{label}]")
     if doc["figure"] in ("chaos", "chaos_wan"):
         check_chaos(path, doc)
+    if doc["figure"] in ("failures", "failures_wan"):
+        check_failures(path, doc)
     if doc["figure"] == "pdes":
         check_pdes(path, doc)
     if doc["figure"] == "shard":
@@ -169,6 +185,7 @@ def check_chaos(path, doc):
     if "violations_total" not in doc["scalars"]:
         fail(path, "chaos: missing figure scalar 'violations_total'")
     total = 0
+    breaches = 0
     for i, s in enumerate(doc["series"]):
         where = f"series[{i}]"
         for a in CHAOS_SERIES_ATTRS:
@@ -183,12 +200,48 @@ def check_chaos(path, doc):
             fail(path, f"{where}: 'recovered' must be 0 or 1")
         if s["scalars"]["recovered"] == 0 and s["scalars"]["recovery_ms"] != -1:
             fail(path, f"{where}: unrecovered trial must report recovery_ms=-1")
+        if s["scalars"]["retention_ok"] not in (0, 1):
+            fail(path, f"{where}: 'retention_ok' must be 0 or 1")
         for p in CHAOS_SERIES_POINTS:
             if p not in s["points"]:
                 fail(path, f"{where}: chaos series missing point '{p}'")
         total += s["scalars"]["violations"]
+        breaches += 1 if s["scalars"]["retention_ok"] == 0 else 0
     if total != doc["scalars"]["violations_total"]:
         fail(path, "chaos: violations_total does not match the series sum")
+    if "retention_breaches" not in doc["scalars"]:
+        fail(path, "chaos: missing figure scalar 'retention_breaches'")
+    if breaches != doc["scalars"]["retention_breaches"]:
+        fail(path, "chaos: retention_breaches does not match the series")
+
+
+def check_failures(path, doc):
+    """BENCH_failures.json: per-(system, scenario) availability + safety
+    plus the ISSUE 10 compaction verdict. The schema checks the verdict is
+    reported; the bench itself gates on its value."""
+    if "safety_violations" not in doc["scalars"]:
+        fail(path, "failures: missing figure scalar 'safety_violations'")
+    for i, s in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        for a in FAILURES_SERIES_ATTRS:
+            if a not in s["attrs"]:
+                fail(path, f"{where}: failures series missing attr '{a}'")
+        for k in FAILURES_SERIES_SCALARS:
+            if k not in s["scalars"]:
+                fail(path, f"{where}: failures series missing scalar '{k}'")
+        for k in ("digests_agree", "stalled_during", "progressed_after",
+                  "retention_ok"):
+            if s["scalars"][k] not in (0, 1):
+                fail(path, f"{where}: '{k}' must be 0 or 1")
+        if s["scalars"]["log_entries_retained"] < 0:
+            fail(path, f"{where}: negative log_entries_retained")
+        for p in FAILURES_SERIES_POINTS:
+            if p not in s["points"]:
+                fail(path, f"{where}: failures series missing point '{p}'")
+    if doc["figure"] == "failures":
+        names = {s["attrs"]["scenario"] for s in doc["series"]}
+        if "long_downtime" not in names:
+            fail(path, "failures: suite lost the long_downtime scenario")
 
 
 def check_pdes(path, doc):

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "kv/store.h"
 #include "kv/types.h"
 #include "simnet/payload.h"
 
@@ -74,12 +76,27 @@ struct JoinRequest {
   static constexpr std::size_t kWire = 16;
 };
 
-/// Sponsor -> joiner: the cycle from which the joiner participates plus the
-/// state snapshot (snapshot content is modelled by wire size only).
+/// Sponsor -> joiner: the full state transfer that re-admits an excluded
+/// pnode. Sent when the kJoin membership update commits (the agreed point,
+/// §4.6): the sponsor's committed KV state through `snapshot_cycle`, the
+/// super-leaf's live membership (with each member's activation cycle, see
+/// CanopusNode::active_from_), and the deployment-wide exclusion list so the
+/// joiner's emulation table matches the snapshot point. The joiner commits
+/// cycles in (snapshot_cycle, first_cycle) by fetching their merged root
+/// states, and contributes its own round-1 proposals from `first_cycle` on.
 struct JoinAck {
-  CycleId first_cycle = 0;
-  std::size_t snapshot_bytes = 0;
-  std::size_t wire_bytes() const { return 32 + snapshot_bytes; }
+  CycleId snapshot_cycle = 0;  ///< snapshot covers commits through this cycle
+  CycleId first_cycle = 0;     ///< joiner's round-1 participation starts here
+  kv::Snapshot snap;
+  /// Live super-leaf members (joiner included) -> activation cycle
+  /// (0 = active since before the snapshot).
+  std::vector<std::pair<NodeId, CycleId>> members;
+  /// Pnodes currently excluded deployment-wide (emulation-table state).
+  std::vector<NodeId> dead;
+
+  std::size_t wire_bytes() const {
+    return 64 + snap.wire_bytes() + 16 * members.size() + 8 * dead.size();
+  }
 };
 
 }  // namespace canopus::proto

@@ -24,7 +24,12 @@ CanopusNode::CanopusNode(std::shared_ptr<const lot::Lot> lot, Config cfg)
 void CanopusNode::on_start() {
   const int sl = lot_->super_leaf_of(node_id());
   sl_live_ = lot_->super_leaf_members(sl);
+  make_broadcast();
+  rb_->start();
+}
 
+void CanopusNode::make_broadcast() {
+  const int sl = lot_->super_leaf_of(node_id());
   if (cfg_.broadcast == BroadcastKind::kRaft) {
     rbcast::ReliableBroadcast::Callbacks cb;
     cb.send = [this](NodeId dst, const raft::WireMsg& m) {
@@ -46,29 +51,181 @@ void CanopusNode::on_start() {
         node_id(), sl_live_, cfg_.sequencers->get(sl), sim(), net(),
         std::move(cb), cfg_.switch_broadcast);
   }
-  rb_->start();
 }
 
 void CanopusNode::crash() {
   crashed_ = true;
+  joining_ = false;
   if (rb_) rb_->stop();
   if (pipeline_timer_ != simnet::kInvalidEvent) {
     sim().cancel(pipeline_timer_);
     pipeline_timer_ = simnet::kInvalidEvent;
   }
+  if (join_timer_ != simnet::kInvalidEvent) {
+    sim().cancel(join_timer_);
+    join_timer_ = simnet::kInvalidEvent;
+  }
+}
+
+void CanopusNode::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  enter_joining();
+}
+
+void CanopusNode::enter_joining() {
+  joining_ = true;
+  join_attempt_ = 0;
+  // Everything dies with the node: volatile batches trivially, and the
+  // committed state too — it is replaced wholesale by the sponsor's
+  // snapshot, so the digest chain continues the sponsor's, not ours.
+  pending_writes_.clear();
+  pending_reads_.clear();
+  pending_membership_.clear();
+  pending_joiners_.clear();
+  reply_buffer_.clear();
+  leases_.clear();
+  for (auto& [c, cs] : cycles_) drop_fetch_timers(cs);
+  cycles_.clear();
+  prompted_ = false;
+  empty_streak_ = 0;
+  if (pipeline_timer_ != simnet::kInvalidEvent) {
+    sim().cancel(pipeline_timer_);
+    pipeline_timer_ = simnet::kInvalidEvent;
+  }
+  send_join_request();
 }
 
 void CanopusNode::on_message(const simnet::Message& m) {
   if (crashed_) return;
+  if (joining_) {
+    // A joining node is not a member: it ignores all protocol traffic
+    // (including its stale broadcast groups) until the sponsor's ack.
+    if (const auto* ja = m.as<proto::JoinAck>()) handle_join_ack(*ja);
+    return;
+  }
   if (rb_->handle(m)) {
     // consumed by the broadcast substrate
   } else if (const auto* pr = m.as<proto::ProposalRequest>()) {
     handle_proposal_request(m.src(), *pr);
   } else if (const auto* p = m.as<proto::Proposal>()) {
     handle_fetched_proposal(*p);
+  } else if (const auto* jr = m.as<proto::JoinRequest>()) {
+    handle_join_request(*jr);
   } else if (const auto* batch = m.as<kv::ClientBatch>()) {
     handle_client_batch(*batch);
   }
+}
+
+// --------------------------------------------------------------------------
+// Rejoin by state transfer (§4.6 membership + PR 10)
+// --------------------------------------------------------------------------
+
+void CanopusNode::send_join_request() {
+  if (crashed_ || !joining_) return;
+  // Rotate through the original super-leaf roster (§3 assumption 6: a
+  // joiner knows its rack peers) until a live sibling sponsors us. If the
+  // whole super-leaf is gone this retries forever: the node stalls, as
+  // specified (§6) — but loudly in `joining()`, never as a zombie member.
+  const auto& roster =
+      lot_->super_leaf_members(lot_->super_leaf_of(node_id()));
+  std::vector<NodeId> targets;
+  for (NodeId m : roster) {
+    if (m != node_id()) targets.push_back(m);
+  }
+  if (!targets.empty()) {
+    const NodeId target =
+        targets[static_cast<std::size_t>(join_attempt_) % targets.size()];
+    ++join_attempt_;
+    send(target, proto::JoinRequest::kWire, proto::JoinRequest{node_id()});
+  }
+  join_timer_ = after(cfg_.fetch_timeout, [this] {
+    join_timer_ = simnet::kInvalidEvent;
+    send_join_request();
+  });
+}
+
+void CanopusNode::handle_join_request(const proto::JoinRequest& jr) {
+  const NodeId j = jr.joiner;
+  if (j == node_id() || j == kInvalidNode) return;
+  if (lot_->super_leaf_of(j) != lot_->super_leaf_of(node_id())) return;
+  if (std::find(sl_live_.begin(), sl_live_.end(), j) != sl_live_.end())
+    return;  // still (or again) a member: exclusion not agreed, or rejoined
+  if (emu_.is_live(j)) return;  // exclusion not yet committed: too early
+  // Grace: re-admission must not race the tail of the exclusion (the
+  // joiner's old group elections and log drains may still be in flight).
+  const auto it = excluded_at_.find(j);
+  if (it == excluded_at_.end() ||
+      sim().now() - it->second < 3 * cfg_.raft.election_timeout_max)
+    return;
+  if (std::find(pending_joiners_.begin(), pending_joiners_.end(), j) !=
+      pending_joiners_.end())
+    return;  // join already proposed; the ack ships at its commit
+  pending_joiners_.push_back(j);
+  pending_membership_.push_back({proto::MembershipUpdate::Kind::kJoin, j});
+  maybe_start_next_cycle();
+}
+
+void CanopusNode::send_join_ack(NodeId joiner, CycleId snapshot_cycle,
+                                CycleId act) {
+  proto::JoinAck ack;
+  ack.snapshot_cycle = snapshot_cycle;
+  ack.first_cycle = act;
+  ack.snap.image =
+      std::make_shared<const kv::StoreImage>(store_.export_image());
+  ack.snap.digest_hash = digest_.value();
+  ack.snap.digest_count = digest_.count();
+  ack.members.reserve(sl_live_.size());
+  for (NodeId m : sl_live_) ack.members.emplace_back(m, active_from(m));
+  for (NodeId p : lot_->descendants(lot_->root())) {
+    if (!emu_.is_live(p)) ack.dead.push_back(p);
+  }
+  ++snapshots_served_;
+  send(joiner, ack.wire_bytes(), ack);
+}
+
+void CanopusNode::handle_join_ack(const proto::JoinAck& ack) {
+  if (!joining_) return;
+  if (join_timer_ != simnet::kInvalidEvent) {
+    sim().cancel(join_timer_);
+    join_timer_ = simnet::kInvalidEvent;
+  }
+  joining_ = false;
+  // Install the sponsor's committed state (through snapshot_cycle); our
+  // digest chain continues the sponsor's exactly.
+  if (ack.snap.image) store_.restore(*ack.snap.image);
+  digest_.restore(ack.snap.digest_hash, ack.snap.digest_count);
+  ++snapshots_installed_;
+  if (on_snapshot_install) on_snapshot_install(ack.snap);
+  last_committed_ = ack.snapshot_cycle;
+  last_started_ = ack.first_cycle - 1;  // own cycles resume at first_cycle
+  own_active_from_ = ack.first_cycle;
+  for (auto& [c, cs] : cycles_) drop_fetch_timers(cs);
+  cycles_.clear();
+  // Liveness view as of the snapshot point; changes agreed since then
+  // replay through the catch-up commits below.
+  emu_ = lot::EmulationTable(*lot_);
+  for (NodeId d : ack.dead) emu_.remove(d);
+  active_from_.clear();
+  sl_live_.clear();
+  for (const auto& [m, from] : ack.members) {
+    sl_live_.push_back(m);
+    if (from > 0) active_from_[m] = from;
+  }
+  // Fresh broadcast groups over the current membership. Our peers created
+  // our group (and admitted us to theirs) at the kJoin commit; their group
+  // leaders repair our empty follower logs by AppendEntries backoff or —
+  // past their compaction base — an InstallSnapshot fast-forward. Replayed
+  // tail entries for cycles the snapshot covers are dropped by the
+  // stale-cycle guard in handle_rb_deliver.
+  make_broadcast();
+  rb_->start();
+  // Commit catch-up: cycles between the snapshot and our activation are
+  // fetched as fully merged root states and committed in order — we never
+  // run their round machinery (our groups may lack broadcasts from members
+  // whose groups dissolved before we rejoined).
+  for (CycleId cc = last_committed_ + 1; cc < ack.first_cycle; ++cc)
+    issue_fetch(cc, lot_->root());
 }
 
 // --------------------------------------------------------------------------
@@ -76,7 +233,7 @@ void CanopusNode::on_message(const simnet::Message& m) {
 // --------------------------------------------------------------------------
 
 void CanopusNode::submit(kv::Request r) {
-  if (crashed_) return;
+  if (crashed_ || joining_) return;
   r.origin = node_id();
   if (r.is_write) {
     pending_writes_.push_back(r);
@@ -88,6 +245,7 @@ void CanopusNode::submit(kv::Request r) {
 }
 
 void CanopusNode::handle_client_batch(const kv::ClientBatch& batch) {
+  if (crashed_ || joining_) return;
   for (const kv::Request& req : batch.reqs) {
     kv::Request r = req;
     r.origin = node_id();
@@ -152,9 +310,12 @@ CanopusNode::CycleState& CanopusNode::cycle(CycleId c) {
 }
 
 void CanopusNode::maybe_start_next_cycle(bool timer_fired) {
-  if (crashed_) return;
-  const bool local_work =
-      !pending_writes_.empty() || !pending_reads_.empty();
+  if (crashed_ || joining_) return;
+  // Pending membership updates count as local work: an idle system must
+  // still start the cycle that carries an exclusion or a join.
+  const bool local_work = !pending_writes_.empty() ||
+                          !pending_reads_.empty() ||
+                          !pending_membership_.empty();
   const bool idle = last_started_ == last_committed_;
 
   bool go;
@@ -293,6 +454,12 @@ void CanopusNode::handle_rb_deliver(NodeId /*origin*/,
   if (crashed_) return;
   const auto* p = payload.as<proto::Proposal>();
   if (p == nullptr) return;
+  // Stale delivery for a committed cycle: a straggler entry drained from a
+  // dissolved group, or — after a rejoin — the retained log tail replayed
+  // while our fresh follower groups caught up. Recreating CycleState for
+  // it would leak (the cycle may already be pruned) and can never change
+  // the commit.
+  if (p->cycle <= last_committed_) return;
   if (p->cycle > last_started_) {
     prompted_ = true;
     // §7.1: always start cycles in sequence, never skip to p->cycle.
@@ -317,16 +484,24 @@ void CanopusNode::add_proposal(CycleId c, const proto::Proposal& p) {
 }
 
 void CanopusNode::try_complete_round(CycleId c, RoundId r) {
+  // Cycles before our own activation are committed via root-state fetches
+  // (rejoin catch-up), never via the round machinery: our rebuilt groups
+  // may be missing broadcasts of members whose groups dissolved before we
+  // rejoined, so a local merge could disagree with the survivors'.
+  if (c < own_active_from_) return;
   CycleState& cs = cycle(c);
   if (cs.complete || cs.rounds_done != r - 1) return;
   const auto& got = cs.acc[r];
 
   if (r == 1) {
     if (!cs.started) return;
-    // Need the round-1 proposal of every *currently live* super-leaf peer.
-    // Exclusions are ordered after the excluded node's final committed
-    // broadcasts (see rbcast), so this set is consistent across survivors.
+    // Need the round-1 proposal of every *currently live* super-leaf peer
+    // that is already contributing (a rejoined member only counts from its
+    // agreed activation cycle). Exclusions are ordered after the excluded
+    // node's final committed broadcasts (see rbcast), so this set is
+    // consistent across survivors.
     for (NodeId m : sl_live_) {
+      if (active_from(m) > c) continue;
       if (!got.contains(lot_->leaf_of(m))) return;
     }
   } else {
@@ -478,7 +653,16 @@ void CanopusNode::issue_fetch(CycleId c, VnodeId v) {
   // gone, this retries forever: the protocol stalls, as specified (§6).
   ++fs.attempt;
   fs.timer = after(cfg_.fetch_timeout, [this, c, v] {
-    CycleState& s = cycle(c);
+    // The cycle may be gone by now: committed and pruned (a root-state
+    // install completes the cycle without touching sibling fetches), or
+    // dropped wholesale by enter_joining. Looking it up with cycle() would
+    // RE-CREATE an empty, forever-uncommitted husk below last_committed_
+    // that wedges prune_history and makes retained state grow without
+    // bound — so probe the map, never materialize.
+    if (crashed_ || joining_ || c <= last_committed_) return;
+    auto mit = cycles_.find(c);
+    if (mit == cycles_.end()) return;  // pruned: stale timer
+    CycleState& s = mit->second;
     auto it = s.fetches.find(v);
     if (it == s.fetches.end() || s.complete) return;
     // Keep the FetchState (and its attempt counter) so the retry walks to
@@ -494,6 +678,10 @@ void CanopusNode::handle_proposal_request(NodeId src,
     prompted_ = true;
     maybe_start_next_cycle();  // §4.4: cross-super-leaf prompting
   }
+  // Committed-and-pruned cycles can no longer be served (the requester is
+  // stalled beyond recovery by fetching; a rejoining node requests only
+  // cycles inside the retained window, see prune_history).
+  if (pr.cycle <= last_committed_ && !cycles_.contains(pr.cycle)) return;
   CycleState& cs = cycle(pr.cycle);
   const auto r = static_cast<RoundId>(lot_->level(pr.vnode));
   if (cs.rounds_done >= r && cs.state[r].has_value()) {
@@ -507,6 +695,26 @@ void CanopusNode::handle_proposal_request(NodeId src,
 }
 
 void CanopusNode::handle_fetched_proposal(const proto::Proposal& p) {
+  // Rejoin catch-up: a fetched *root* state is the cycle's final merged
+  // result — install it directly and commit, without running rounds or
+  // re-broadcasting (peers would index acc[height+1] out of bounds, and
+  // our rebuilt groups may be missing dissolved-group broadcasts anyway).
+  const auto h = static_cast<RoundId>(lot_->height());
+  if (p.round > h) {
+    if (p.cycle <= last_committed_) return;
+    CycleState& rcs = cycle(p.cycle);
+    if (rcs.complete) return;
+    if (auto it = rcs.fetches.find(p.vnode); it != rcs.fetches.end()) {
+      if (it->second.timer != simnet::kInvalidEvent)
+        sim().cancel(it->second.timer);
+      rcs.fetches.erase(it);
+    }
+    rcs.state[h] = p;
+    rcs.rounds_done = h;
+    rcs.complete = true;
+    try_commit();
+    return;
+  }
   // A unicast reply to one of our proposal-requests: share it with the
   // super-leaf via reliable broadcast (§4.2). Duplicate fetches by
   // redundant representatives dedupe at add_proposal time.
@@ -562,6 +770,15 @@ void CanopusNode::try_commit() {
       break;
     commit_cycle(last_committed_ + 1);
   }
+  if (pending_rejoin_) {
+    // A stale exclusion of this node committed after its rejoin: the
+    // survivors have dropped us again, so our groups are dead. Go back
+    // through the full join path rather than acting as a zombie member.
+    pending_rejoin_ = false;
+    rb_->stop();
+    enter_joining();
+    return;
+  }
   maybe_start_next_cycle();
   flush_replies();
 }
@@ -597,19 +814,64 @@ void CanopusNode::commit_cycle(CycleId c) {
 
   // Membership updates agreed in this cycle take effect now, identically on
   // every live node (§4.6).
+  std::vector<std::pair<NodeId, CycleId>> join_acks;
   for (const proto::MembershipUpdate& u : root.membership) {
     if (u.kind == proto::MembershipUpdate::Kind::kLeave) {
       emu_.remove(u.node);
-      if (u.node != node_id() && rb_->is_member(u.node)) {
+      excluded_at_[u.node] = sim().now();
+      if (u.node == node_id()) {
+        // A stale exclusion of *this* node committed after its rejoin (the
+        // kLeave was proposed before the kJoin but ordered after it). The
+        // survivors drop us from their groups again; re-enter joining once
+        // the commit loop unwinds (see try_commit).
+        if (own_active_from_ > 0) pending_rejoin_ = true;
+      } else if (rb_->is_member(u.node)) {
         rb_->remove_member(u.node);
         sl_live_.erase(
             std::remove(sl_live_.begin(), sl_live_.end(), u.node),
             sl_live_.end());
       }
-    } else {
-      emu_.add(u.node);
+      active_from_.erase(u.node);
+      continue;
+    }
+    // kJoin: the agreed point. Every live node derives the same activation
+    // cycle from the commit cycle, so round-1 completeness of the racing
+    // in-flight window is evaluated identically everywhere: a peer can only
+    // evaluate round 1 of cycle c' > act-1 after starting c', which (with
+    // pipelining window K) requires last_committed_ >= c' - K > c, i.e.
+    // after it, too, applied this kJoin.
+    const CycleId act =
+        c + (cfg_.pipelining ? cfg_.max_outstanding_cycles : 0) + 1;
+    emu_.add(u.node);
+    excluded_at_.erase(u.node);
+    if (u.node != node_id() &&
+        lot_->super_leaf_of(u.node) == lot_->super_leaf_of(node_id()) &&
+        !rb_->is_member(u.node)) {
+      active_from_[u.node] = act;
+      rb_->add_member(u.node);
+      // Keep sl_live_ in lot-roster order: current_reps() takes a prefix.
+      const auto& order =
+          lot_->super_leaf_members(lot_->super_leaf_of(node_id()));
+      auto rank = [&](NodeId n) {
+        return std::find(order.begin(), order.end(), n) - order.begin();
+      };
+      sl_live_.insert(
+          std::upper_bound(sl_live_.begin(), sl_live_.end(), u.node,
+                           [&](NodeId a, NodeId b) { return rank(a) < rank(b); }),
+          u.node);
+      const auto pj =
+          std::find(pending_joiners_.begin(), pending_joiners_.end(), u.node);
+      if (pj != pending_joiners_.end()) {
+        pending_joiners_.erase(pj);
+        join_acks.emplace_back(u.node, act);
+      }
     }
   }
+
+  // Sponsored joins agreed in this cycle: ship the state transfer now that
+  // the membership loop has run, so the ack's liveness view reflects every
+  // update of the cycle.
+  for (const auto& [j, act] : join_acks) send_join_ack(j, c, act);
 
   // Write leases granted by this cycle (§7.2).
   if (cfg_.write_leases) {
@@ -626,12 +888,34 @@ void CanopusNode::commit_cycle(CycleId c) {
 void CanopusNode::prune_history() {
   // Keep a window of committed cycles so that straggling super-leaves can
   // still fetch our vnode states; beyond the window they would be stalled
-  // anyway (fetch_timeout * retries >> window * cycle time).
-  constexpr CycleId kKeep = 64;
+  // anyway (fetch_timeout * retries >> window * cycle time). Under
+  // pipelining the window must also cover the rejoin catch-up span (the
+  // pipelining depth): a joiner fetches the merged root state of every
+  // cycle between its snapshot and its activation, and those fetches are
+  // served from this history.
+  const CycleId kKeep =
+      cfg_.pipelining
+          ? std::max<CycleId>(64, 2 * cfg_.max_outstanding_cycles)
+          : 64;
   while (!cycles_.empty()) {
     auto it = cycles_.begin();
-    if (it->first + kKeep >= last_committed_ || !it->second.committed) break;
+    if (it->first + kKeep >= last_committed_) break;
+    // Commits are strictly in cycle order, so everything this far below
+    // last_committed_ is retired — including any uncommitted husk a stale
+    // fetch timer resurrected. Never block on the committed flag here: one
+    // wedged entry would pin every later cycle in memory for the rest of
+    // the run.
+    drop_fetch_timers(it->second);
     cycles_.erase(it);
+  }
+}
+
+void CanopusNode::drop_fetch_timers(CycleState& cs) {
+  for (auto& [v, fs] : cs.fetches) {
+    if (fs.timer != simnet::kInvalidEvent) {
+      sim().cancel(fs.timer);
+      fs.timer = simnet::kInvalidEvent;
+    }
   }
 }
 

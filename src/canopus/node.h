@@ -49,6 +49,18 @@ class CanopusNode : public simnet::Process {
   /// Crash-stop this node (also silences its broadcast groups).
   void crash();
 
+  /// Rejoin after a crash (the PR 10 state-transfer path). The node enters
+  /// joining mode: it discards all volatile and committed state, asks a
+  /// live super-leaf sibling to sponsor it, and — once the sponsor's kJoin
+  /// membership update commits — installs the sponsor's snapshot, rebuilds
+  /// its broadcast groups, commit-catches-up on the in-flight cycle window,
+  /// and resumes contributing from an agreed activation cycle.
+  void recover();
+  bool crashed() const { return crashed_; }
+  /// True between recover() and the snapshot install: the node is not yet
+  /// a comparable member (its digest chain restarts at the install).
+  bool joining() const { return joining_; }
+
   // --- observers --------------------------------------------------------
   CycleId last_started_cycle() const { return last_started_; }
   CycleId last_committed_cycle() const { return last_committed_; }
@@ -60,6 +72,12 @@ class CanopusNode : public simnet::Process {
   const lot::Lot& lot() const { return *lot_; }
   bool is_representative() const;
 
+  /// Rejoin observability: join snapshots installed (this node) / served
+  /// (as sponsor), and the cycle-history footprint prune_history bounds.
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t snapshots_served() const { return snapshots_served_; }
+  std::size_t retained_cycles() const { return cycles_.size(); }
+
   /// Current failure-detector view of the own super-leaf (§4.3).
   const std::vector<NodeId>& live_peers() const { return sl_live_; }
 
@@ -70,6 +88,10 @@ class CanopusNode : public simnet::Process {
   /// Fired when a read is served, with the value returned to the client
   /// (linearizability checkers hang off this).
   std::function<void(const kv::Request&, std::uint64_t value)> on_read;
+
+  /// Fired when a rejoin snapshot is installed (the audit plane reconciles
+  /// the node's history from the snapshot rather than per-write replay).
+  std::function<void(const kv::Snapshot&)> on_snapshot_install;
 
   /// Diagnostics hooks (tests, tracing). May be null.
   std::function<void(CycleId)> on_cycle_start;
@@ -126,6 +148,18 @@ class CanopusNode : public simnet::Process {
   void handle_rb_deliver(NodeId origin, const simnet::Payload& payload);
   void handle_peer_failed(NodeId peer);
 
+  // --- rejoin (state transfer) --------------------------------------------
+  void make_broadcast();
+  void enter_joining();
+  void send_join_request();
+  void handle_join_request(const proto::JoinRequest& jr);
+  void handle_join_ack(const proto::JoinAck& ack);
+  void send_join_ack(NodeId joiner, CycleId snapshot_cycle, CycleId act);
+  CycleId active_from(NodeId member) const {
+    const auto it = active_from_.find(member);
+    return it == active_from_.end() ? 0 : it->second;
+  }
+
   // --- cycle machinery ----------------------------------------------------
   CycleState& cycle(CycleId c);
   void maybe_start_next_cycle(bool timer_fired = false);
@@ -139,6 +173,7 @@ class CanopusNode : public simnet::Process {
   void try_commit();
   void commit_cycle(CycleId c);
   void prune_history();
+  void drop_fetch_timers(CycleState& cs);
   void arm_pipeline_timer();
 
   // --- reads & leases (§5, §7.2) -------------------------------------------
@@ -180,6 +215,33 @@ class CanopusNode : public simnet::Process {
   /// Per-client completions accumulated during a commit, flushed as one
   /// ReplyBatch per client.
   std::unordered_map<NodeId, kv::ReplyBatch> reply_buffer_;
+
+  // --- rejoin state -------------------------------------------------------
+  /// True between recover() and the JoinAck install: the node only listens
+  /// for the ack and retries JoinRequests on a rotation timer.
+  bool joining_ = false;
+  int join_attempt_ = 0;
+  simnet::EventId join_timer_ = simnet::kInvalidEvent;
+  /// First cycle this node contributes a round-1 proposal to (0 for
+  /// original members; the JoinAck's first_cycle after a rejoin).
+  CycleId own_active_from_ = 0;
+  /// Per super-leaf member: first cycle whose round 1 requires that
+  /// member's proposal. Set at the kJoin commit — an agreed point — so
+  /// every node evaluates round-1 completeness identically even while the
+  /// join was racing in-flight cycles.
+  std::unordered_map<NodeId, CycleId> active_from_;
+  /// Sponsor side: joiners whose kJoin update this node proposed; the ack
+  /// (with the state snapshot) ships when the update commits.
+  std::vector<NodeId> pending_joiners_;
+  /// When each excluded pnode's kLeave committed locally — re-admission
+  /// waits out a grace period so the exclusion's tail (group elections,
+  /// log drains) settles first.
+  std::unordered_map<NodeId, Time> excluded_at_;
+  /// A stale kLeave for *this* node committed after its rejoin: re-enter
+  /// joining once the commit loop unwinds (see try_commit).
+  bool pending_rejoin_ = false;
+  std::uint64_t snapshots_installed_ = 0;
+  std::uint64_t snapshots_served_ = 0;
 
   simnet::EventId pipeline_timer_ = simnet::kInvalidEvent;
   bool crashed_ = false;

@@ -70,6 +70,10 @@ void EPaxosNode::on_message(const simnet::Message& m) {
     handle_fetch(m.src(), *f);
   } else if (const auto* cf = m.as<CommitFull>()) {
     handle_commit_full(*cf);
+  } else if (m.as<SnapRequest>() != nullptr) {
+    handle_snap_request(m.src());
+  } else if (const auto* sn = m.as<SnapshotMsg>()) {
+    handle_snapshot(*sn);
   } else if (m.as<SeqProbe>() != nullptr) {
     send(m.src(), SeqInfo::kWire, SeqInfo{own_committed_});
   } else if (const auto* si = m.as<SeqInfo>()) {
@@ -114,6 +118,13 @@ void EPaxosNode::flush_batch() {
 }
 
 void EPaxosNode::handle_pre_accept(NodeId src, const PreAccept& pa) {
+  if (pruned(pa.id)) {
+    // Stale retransmit for an instance this replica already executed and
+    // pruned: ack without resurrecting a record.
+    PreAcceptOk ok{pa.id, pa.deps};
+    send(src, ok.wire_bytes(), ok);
+    return;
+  }
   Instance& inst = instances_[pa.id];
   if (!inst.committed) {  // a commit's attributes are authoritative
     inst.batch = pa.batch;
@@ -146,6 +157,7 @@ void EPaxosNode::handle_pre_accept_ok(NodeId src, const PreAcceptOk& ok) {
 }
 
 void EPaxosNode::handle_commit(const Commit& c) {
+  if (pruned(c.id)) return;  // stale retransmit; already executed here
   Instance& inst = instances_[c.id];
   inst.deps = c.deps;
   inst.committed = true;
@@ -159,6 +171,7 @@ void EPaxosNode::handle_commit(const Commit& c) {
 }
 
 void EPaxosNode::handle_commit_full(const CommitFull& cf) {
+  if (pruned(cf.id)) return;  // stale repair reply; already executed here
   Instance& inst = instances_[cf.id];
   if (inst.committed && (inst.executed || inst.batch)) return;
   if (!inst.batch) inst.batch = cf.batch;
@@ -180,6 +193,122 @@ void EPaxosNode::handle_fetch(NodeId src, const Fetch& f) {
     CommitFull cf{it->first, it->second.batch, it->second.deps};
     send(src, cf.wire_bytes(), cf);
   }
+}
+
+void EPaxosNode::handle_snap_request(NodeId src) {
+  // Donor eligibility: this replica's executed set must be prefix-closed
+  // for EVERY replica's instance space — otherwise the image would bake in
+  // out-of-order executions the frontier vector cannot describe, and the
+  // receiver could double-apply or lose commands. Ineligible donors stay
+  // silent; the requester's rotation finds another (or this one becomes
+  // eligible once its own gaps close).
+  for (NodeId r : replicas_) {
+    const auto ec = exec_contig_.find(r);
+    const auto mx = max_executed_.find(r);
+    const std::uint64_t e = ec == exec_contig_.end() ? 0 : ec->second;
+    const std::uint64_t m = mx == max_executed_.end() ? 0 : mx->second;
+    if (e != m) return;
+  }
+  SnapshotMsg s;
+  s.snap.image =
+      std::make_shared<const kv::StoreImage>(store_.export_image());
+  s.snap.digest_hash = digest_.value();
+  s.snap.digest_count = digest_.count();
+  s.snap.set_sum = set_digest_.value();
+  s.snap.set_count = set_digest_.count();
+  s.executed_count = executed_;
+  s.covered.reserve(replicas_.size());
+  for (NodeId r : replicas_) {
+    const auto ec = exec_contig_.find(r);
+    s.covered.emplace_back(r, ec == exec_contig_.end() ? 0 : ec->second);
+  }
+  ++snapshots_served_;
+  send(src, s.wire_bytes(), s);
+}
+
+void EPaxosNode::handle_snapshot(const SnapshotMsg& s) {
+  std::unordered_map<NodeId, std::uint64_t> covered;
+  for (const auto& [r, upto] : s.covered) covered[r] = upto;
+  const auto covered_upto = [&](NodeId r) {
+    const auto it = covered.find(r);
+    return it == covered.end() ? std::uint64_t{0} : it->second;
+  };
+  // Stale (a slow donor answered after the gap closed): ignore.
+  bool advances = false;
+  for (const auto& [r, upto] : covered) {
+    if (upto > contig_[r]) {
+      advances = true;
+      break;
+    }
+  }
+  if (!advances) return;
+  // Replay set: instances this replica executed BEYOND the image's
+  // per-replica frontier (EPaxos executes out of order, so local state can
+  // be ahead of any prefix-closed image). Their effects are in our state
+  // but not the donor's image — they must be re-applied on top after the
+  // restore. If any of them already evicted its batch we cannot replay:
+  // reject this image and let the rotation find a donor whose frontier
+  // passes it.
+  std::vector<InstanceId> replay;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.executed && id.seq > covered_upto(id.replica)) {
+      if (!inst.batch) return;
+      replay.push_back(id);
+    }
+  }
+  // Install: adopt the donor's state machine and digest chains wholesale.
+  if (s.snap.image) store_.restore(*s.snap.image);
+  digest_.restore(s.snap.digest_hash, s.snap.digest_count);
+  set_digest_.restore(s.snap.set_sum, s.snap.set_count);
+  executed_ = s.executed_count;
+  for (const auto& [r, upto] : covered) {
+    auto raise = [upto](std::uint64_t& v) { v = std::max(v, upto); };
+    raise(contig_[r]);
+    raise(exec_contig_[r]);
+    raise(max_executed_[r]);
+    raise(max_committed_seen_[r]);
+    raise(pruned_below_[r]);
+    gap_attempts_[r] = 0;
+    gap_unrecoverable_[r] = false;
+    if (r == node_id()) {
+      own_committed_ = std::max(own_committed_, upto);
+      if (next_seq_ <= upto) next_seq_ = upto + 1;
+      while (!own_uncommitted_.empty() &&
+             own_uncommitted_.front().first.seq <= upto)
+        own_uncommitted_.pop_front();
+    }
+    // Records the image covers will never execute here: drop them so no
+    // stale retransmit resurrects one (pruned_below_ guards the handlers).
+    auto it = instances_.lower_bound(InstanceId{r, 0});
+    while (it != instances_.end() && it->first.replica == r &&
+           it->first.seq <= upto)
+      it = instances_.erase(it);
+  }
+  std::erase_if(blocked_, [&](const InstanceId& id) {
+    return id.seq <= covered_upto(id.replica);
+  });
+  ++snapshots_installed_;
+  if (on_snapshot_install) on_snapshot_install(s.snap);
+  // Replay the kept-ahead executions in InstanceId order (the digests are
+  // order-insensitive across non-interfering instances, so a deterministic
+  // order suffices). on_execute fires again so an external audit log that
+  // reset to the image stays consistent with the final state.
+  std::sort(replay.begin(), replay.end());
+  for (const InstanceId& id : replay) {
+    auto it = instances_.find(id);
+    if (it == instances_.end() || !it->second.batch) continue;
+    for (const kv::Request& r : *it->second.batch) {
+      if (r.is_write) {
+        store_.apply(r);
+        digest_.append(r);
+        set_digest_.append(r);
+      }
+      ++executed_;
+    }
+    if (on_execute) on_execute(*it->second.batch);
+  }
+  for (NodeId r : replicas_) advance_exec_contig(r);
+  retry_blocked();
 }
 
 void EPaxosNode::register_commit(const InstanceId& id) {
@@ -218,22 +347,50 @@ void EPaxosNode::arm_repair_timer() {
     bool work_left = false;
     // Missed instances of other leaders: fetch the gap. Ask the command
     // leader first; rotate to the other replicas on subsequent attempts in
-    // case it is dead or has already evicted the batch.
+    // case it is dead or has already evicted the batch. The rotation is
+    // BOUNDED per replica: one full pass over the targets without frontier
+    // progress — or a gap wider than the repair window, which no peer's
+    // ring can cover — escalates to a state snapshot (or, with snapshots
+    // off, a loud unrecoverable-gap declaration) instead of rotating
+    // CommitFull fetches forever.
     for (const auto& [replica, seen] : max_committed_seen_) {
       if (replica == node_id()) continue;
       const std::uint64_t contig = contig_[replica];
-      if (contig >= seen) continue;
-      work_left = true;
+      if (contig >= seen) {
+        gap_attempts_[replica] = 0;
+        gap_unrecoverable_[replica] = false;
+        continue;
+      }
+      if (contig > gap_at_[replica]) {  // progress resets the budget
+        gap_attempts_[replica] = 0;
+        gap_unrecoverable_[replica] = false;
+      }
+      gap_at_[replica] = contig;
       std::vector<NodeId> targets{replica};
       for (NodeId peer : replicas_) {
         if (peer != node_id() && peer != replica) targets.push_back(peer);
       }
-      const NodeId target =
-          targets[static_cast<std::size_t>(fetch_attempts_) % targets.size()];
+      const std::size_t attempt =
+          static_cast<std::size_t>(gap_attempts_[replica]++);
+      const bool too_wide = seen - contig > cfg_.repair_window;
+      const bool rotated_dry = attempt >= targets.size();
+      if (too_wide || rotated_dry) {
+        if (cfg_.snapshots) {
+          const NodeId donor = targets[attempt % targets.size()];
+          send(donor, SnapRequest::kWire, SnapRequest{});
+          work_left = true;
+        } else if (!gap_unrecoverable_[replica]) {
+          gap_unrecoverable_[replica] = true;
+          ++unrecoverable_gaps_;
+        }
+        // An unrecoverable gap does not keep the timer alive by itself.
+        continue;
+      }
+      work_left = true;
+      const NodeId target = targets[attempt % targets.size()];
       Fetch f{replica, contig + 1, seen};
       send(target, Fetch::kWire, f);
     }
-    ++fetch_attempts_;
     // Own instances stuck pre-quorum for a full interval had their
     // PreAccepts (or the acks) eaten by a fault: retransmit to the
     // acceptors that have not answered.
@@ -302,9 +459,13 @@ bool EPaxosNode::try_execute(const InstanceId& id) {
 }
 
 void EPaxosNode::execute(const InstanceId& id) {
+  if (pruned(id)) return;  // covered by an installed snapshot
   Instance& inst = instances_[id];
   if (inst.executed || !inst.batch) return;
   inst.executed = true;
+  auto& mx = max_executed_[id.replica];
+  mx = std::max(mx, id.seq);
+  advance_exec_contig(id.replica);
 
   for (const kv::Request& r : *inst.batch) {
     if (r.is_write) {
@@ -329,9 +490,13 @@ void EPaxosNode::execute(const InstanceId& id) {
   // become dead weight and are dropped.
   repair_ring_.push_back(id);
   while (repair_ring_.size() > cfg_.repair_window) {
-    auto evict = instances_.find(repair_ring_.front());
-    if (evict != instances_.end()) evict->second.batch.reset();
+    const InstanceId victim = repair_ring_.front();
     repair_ring_.pop_front();
+    auto evict = instances_.find(victim);
+    if (evict != instances_.end()) evict->second.batch.reset();
+    // Executed + evicted records below the executed frontier no longer
+    // serve repair: erase them so the instance map stays bounded too.
+    prune_instances(victim.replica);
   }
 
   for (auto& [client, batch] : reply_buffer_) {
@@ -342,6 +507,32 @@ void EPaxosNode::execute(const InstanceId& id) {
     }
   }
   reply_buffer_.clear();
+}
+
+void EPaxosNode::advance_exec_contig(NodeId replica) {
+  auto& ec = exec_contig_[replica];
+  while (true) {
+    auto it = instances_.find(InstanceId{replica, ec + 1});
+    if (it == instances_.end() || !it->second.executed) break;
+    ++ec;
+  }
+}
+
+void EPaxosNode::prune_instances(NodeId replica) {
+  auto& below = pruned_below_[replica];
+  const auto ec = exec_contig_.find(replica);
+  const std::uint64_t frontier = ec == exec_contig_.end() ? 0 : ec->second;
+  while (below < frontier) {
+    auto it = instances_.find(InstanceId{replica, below + 1});
+    if (it == instances_.end()) {  // already gone (snapshot install)
+      ++below;
+      continue;
+    }
+    // Batch still resident means it is still in the repair ring: keep it.
+    if (!it->second.executed || it->second.batch) break;
+    instances_.erase(it);
+    ++below;
+  }
 }
 
 }  // namespace canopus::epaxos

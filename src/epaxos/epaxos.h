@@ -58,6 +58,13 @@ struct Config {
   /// commits are mistaken for gaps; single-DC failure scenarios lower it
   /// for fast post-heal repair.
   Time repair_retry = 350 * kMillisecond;
+  /// Snapshot/state transfer: when a gap is provably unservable (wider
+  /// than the repair window, or a full rotation of fetches came back
+  /// empty), ask a peer for a full state snapshot instead of rotating
+  /// CommitFull fetches forever. With snapshots off the gap is surfaced
+  /// as an explicit unrecoverable outcome (unrecoverable_gaps()) and the
+  /// fetch spam stops — loud, never a silent stall.
+  bool snapshots = true;
 };
 
 /// Instance id: (replica, per-replica sequence number).
@@ -122,6 +129,25 @@ struct SeqInfo {
   static constexpr std::size_t kWire = 24;
 };
 
+/// State-transfer request: "send me your full state" — issued when a gap
+/// cannot be covered by CommitFull fetches (evicted everywhere).
+struct SnapRequest {
+  static constexpr std::size_t kWire = 24;
+};
+
+/// State-transfer reply: the donor's KV image + digest states plus the
+/// per-replica executed frontier the image covers. Only a donor whose
+/// executed set is prefix-closed for every replica answers, so `covered`
+/// describes the image exactly.
+struct SnapshotMsg {
+  kv::Snapshot snap;
+  std::uint64_t executed_count = 0;
+  std::vector<std::pair<NodeId, std::uint64_t>> covered;
+  std::size_t wire_bytes() const {
+    return 48 + snap.wire_bytes() + 16 * covered.size();
+  }
+};
+
 class EPaxosNode : public simnet::Process {
  public:
   EPaxosNode(std::vector<NodeId> replicas, Config cfg);
@@ -161,8 +187,22 @@ class EPaxosNode : public simnet::Process {
             m == max_committed_seen_.end() ? 0 : m->second};
   }
 
+  /// Repair observability: retained instance records / resident batches
+  /// (the memory footprint repair_window bounds) and snapshot counters.
+  std::size_t log_entries_retained() const { return repair_ring_.size(); }
+  std::size_t instance_records() const { return instances_.size(); }
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t snapshots_served() const { return snapshots_served_; }
+  /// Gaps declared unrecoverable (snapshots disabled and every peer has
+  /// evicted the instances). Nonzero means this replica said so loudly
+  /// instead of rotating fetches forever.
+  std::uint64_t unrecoverable_gaps() const { return unrecoverable_gaps_; }
+
   /// Fired when a batch executes locally, with the instance's requests.
   std::function<void(const std::vector<kv::Request>&)> on_execute;
+  /// Fired after this replica installs a peer snapshot (its state
+  /// fast-forwarded past the gap without executing the missed instances).
+  std::function<void(const kv::Snapshot&)> on_snapshot_install;
 
  private:
   struct Instance {
@@ -182,12 +222,23 @@ class EPaxosNode : public simnet::Process {
   void handle_commit(const Commit& c);
   void handle_fetch(NodeId src, const Fetch& f);
   void handle_commit_full(const CommitFull& cf);
+  void handle_snap_request(NodeId src);
+  void handle_snapshot(const SnapshotMsg& s);
   void register_commit(const InstanceId& id);
   void retry_blocked();
   void arm_repair_timer();
   /// Returns true when the instance is (now or already) executed.
   bool try_execute(const InstanceId& id);
   void execute(const InstanceId& id);
+  void advance_exec_contig(NodeId replica);
+  /// Erases executed, batch-evicted records at the head of `replica`'s
+  /// instance space (everything at or below the executed frontier that no
+  /// longer serves repair) and advances pruned_below_.
+  void prune_instances(NodeId replica);
+  bool pruned(const InstanceId& id) const {
+    const auto it = pruned_below_.find(id.replica);
+    return it != pruned_below_.end() && id.seq <= it->second;
+  }
   std::size_t fast_quorum() const;
 
   std::vector<NodeId> replicas_;
@@ -206,9 +257,21 @@ class EPaxosNode : public simnet::Process {
   /// means this replica has a gap to repair.
   std::unordered_map<NodeId, std::uint64_t> contig_;
   std::unordered_map<NodeId, std::uint64_t> max_committed_seen_;
-  /// Rotates the repair-fetch target so a dead command leader does not
-  /// block repair forever.
-  std::uint64_t fetch_attempts_ = 0;
+  /// Per-replica executed frontier (all seqs <= it executed locally) and
+  /// highest executed seq — equal iff this node's executed set is
+  /// prefix-closed for that replica (the snapshot-donor eligibility test).
+  std::unordered_map<NodeId, std::uint64_t> exec_contig_;
+  std::unordered_map<NodeId, std::uint64_t> max_executed_;
+  /// Records at or below this seq are pruned; stale retransmits for them
+  /// are acked/ignored without resurrecting state.
+  std::unordered_map<NodeId, std::uint64_t> pruned_below_;
+  /// Bounded fetch rotation (the PR 10 bugfix): per-replica attempt count
+  /// since the frontier last advanced, and the frontier it was counted at.
+  /// One full rotation of targets without progress escalates to a
+  /// SnapRequest (or an unrecoverable-gap declaration).
+  std::unordered_map<NodeId, std::uint64_t> gap_attempts_;
+  std::unordered_map<NodeId, std::uint64_t> gap_at_;
+  std::unordered_map<NodeId, bool> gap_unrecoverable_;
   /// Own instances not yet committed, oldest first, with their proposal
   /// times — the repair timer retransmits PreAccepts lost to a partition.
   std::deque<std::pair<InstanceId, Time>> own_uncommitted_;
@@ -219,6 +282,9 @@ class EPaxosNode : public simnet::Process {
   bool crashed_ = false;
   /// This replica's own latest committed seq (answer to SeqProbe).
   std::uint64_t own_committed_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
+  std::uint64_t snapshots_served_ = 0;
+  std::uint64_t unrecoverable_gaps_ = 0;
 
   kv::Store store_;
   kv::CommitDigest digest_;
@@ -238,3 +304,5 @@ CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::Fetch, kEpaxosFetch);
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::CommitFull, kEpaxosCommitFull);
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SeqProbe, kEpaxosSeqProbe);
 CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SeqInfo, kEpaxosSeqInfo);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SnapRequest, kEpaxosSnapRequest);
+CANOPUS_REGISTER_PAYLOAD(canopus::epaxos::SnapshotMsg, kEpaxosSnapshot);

@@ -1,12 +1,21 @@
 // Replicated key-value state machine + commit audit trail.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "kv/types.h"
 
 namespace canopus::kv {
+
+/// Deterministic snapshot image of a Store: (key, value) pairs sorted by
+/// key, so the image is independent of unordered_map iteration order (and
+/// therefore identical on every replica that holds the same state).
+using StoreImage = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
 
 /// The state machine every replica applies committed writes to.
 class Store {
@@ -21,6 +30,18 @@ class Store {
   }
 
   std::size_t size() const { return map_.size(); }
+
+  StoreImage export_image() const {
+    StoreImage img(map_.begin(), map_.end());
+    std::sort(img.begin(), img.end());
+    return img;
+  }
+
+  void restore(const StoreImage& img) {
+    map_.clear();
+    map_.reserve(img.size());
+    for (const auto& [k, v] : img) map_[k] = v;
+  }
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> map_;
@@ -46,6 +67,13 @@ class CommitDigest {
 
   std::uint64_t value() const { return hash_; }
   std::uint64_t count() const { return count_; }
+
+  /// Adopts another replica's digest state (snapshot install): subsequent
+  /// appends continue the donor's chain exactly.
+  void restore(std::uint64_t hash, std::uint64_t count) {
+    hash_ = hash;
+    count_ = count;
+  }
 
   friend bool operator==(const CommitDigest&, const CommitDigest&) = default;
 
@@ -75,11 +103,33 @@ class SetDigest {
   std::uint64_t value() const { return sum_; }
   std::uint64_t count() const { return count_; }
 
+  /// Adopts another replica's digest state (snapshot install).
+  void restore(std::uint64_t sum, std::uint64_t count) {
+    sum_ = sum;
+    count_ = count;
+  }
+
   friend bool operator==(const SetDigest&, const SetDigest&) = default;
 
  private:
   std::uint64_t sum_ = 0;
   std::uint64_t count_ = 0;
+};
+
+/// A complete state-machine snapshot: the KV image plus the digest states
+/// needed so the receiver's audit chain continues the donor's exactly. The
+/// image rides a shared_ptr — fanning a snapshot out to N receivers shares
+/// one allocation, and copying the frame is O(1).
+struct Snapshot {
+  std::shared_ptr<const StoreImage> image;
+  std::uint64_t digest_hash = 0;   ///< CommitDigest state (ordered systems)
+  std::uint64_t digest_count = 0;
+  std::uint64_t set_sum = 0;       ///< SetDigest state (EPaxos)
+  std::uint64_t set_count = 0;
+
+  std::size_t image_size() const { return image ? image->size() : 0; }
+  /// Modeled wire size: 16 bytes per pair plus frame metadata.
+  std::size_t wire_bytes() const { return 48 + 16 * image_size(); }
 };
 
 }  // namespace canopus::kv

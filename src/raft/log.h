@@ -33,27 +33,64 @@ struct LogEntry {
 };
 
 /// The log itself: entries plus helpers for the AppendEntries consistency
-/// check. Index 1 is entries_[0].
+/// check. Compaction (Raft §7 / Ongaro's InstallSnapshot design) discards a
+/// committed-and-applied prefix, leaving a *base*: `base_index_` is the
+/// index of the last discarded entry and `base_term_` its term, so the
+/// consistency check still works at the compaction boundary. A fresh log
+/// has base 0 — index 1 is then entries_[0], as before.
 class Log {
  public:
-  LogIndex last_index() const { return entries_.size(); }
+  LogIndex base_index() const { return base_index_; }
+  Term base_term() const { return base_term_; }
+
+  LogIndex last_index() const { return base_index_ + entries_.size(); }
   Term last_term() const {
-    return entries_.empty() ? 0 : entries_.back().term;
+    return entries_.empty() ? base_term_ : entries_.back().term;
   }
   Term term_at(LogIndex i) const {
-    return i == 0 || i > entries_.size() ? 0 : entries_[i - 1].term;
+    if (i == base_index_) return base_term_;
+    if (i <= base_index_ || i > last_index()) return 0;
+    return entries_[i - base_index_ - 1].term;
   }
-  const LogEntry& at(LogIndex i) const { return entries_[i - 1]; }
+  /// Precondition: base_index() < i <= last_index().
+  const LogEntry& at(LogIndex i) const {
+    return entries_[i - base_index_ - 1];
+  }
 
   void append(LogEntry e) { entries_.push_back(std::move(e)); }
 
-  /// Truncates the log so that last_index() == i.
-  void truncate_after(LogIndex i) { entries_.resize(i); }
+  /// Truncates the log so that last_index() == i. Never truncates into the
+  /// compacted prefix (i >= base_index() required).
+  void truncate_after(LogIndex i) { entries_.resize(i - base_index_); }
+
+  /// Discards entries up to and including `i` (which must be applied).
+  /// No-op if `i` is at or below the current base.
+  void compact_to(LogIndex i) {
+    if (i <= base_index_ || i > last_index()) return;
+    const Term t = term_at(i);
+    entries_.erase(entries_.begin(),
+                   entries_.begin() +
+                       static_cast<std::ptrdiff_t>(i - base_index_));
+    base_index_ = i;
+    base_term_ = t;
+  }
+
+  /// Replaces the whole log with a snapshot boundary: everything up to
+  /// `index` (term `term`) is covered by installed state; the log is empty
+  /// beyond it.
+  void reset_to_snapshot(LogIndex index, Term term) {
+    entries_.clear();
+    base_index_ = index;
+    base_term_ = term;
+  }
 
   bool empty() const { return entries_.empty(); }
+  /// Number of *retained* entries (the memory footprint compaction bounds).
   std::size_t size() const { return entries_.size(); }
 
  private:
+  LogIndex base_index_ = 0;
+  Term base_term_ = 0;
   std::vector<LogEntry> entries_;
 };
 

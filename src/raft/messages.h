@@ -13,6 +13,10 @@ enum class MsgType {
   kVoteReply,
   kAppendEntries,  // doubles as heartbeat when entries is empty
   kAppendReply,
+  /// Leader -> follower state transfer (Raft §7): sent when the follower's
+  /// next index has been compacted away. Carries the snapshot payload plus
+  /// the last included index/term in prev_log_index/prev_log_term.
+  kInstallSnapshot,
   /// Not part of Raft proper: sent by the reliable-broadcast layer when it
   /// receives traffic for a group it has already dissolved (§4.3 "all the
   /// nodes leave that group"). Tells stragglers to finish applying their
@@ -42,9 +46,18 @@ struct WireMsg {
   bool success = false;
   LogIndex match_index = 0;
 
-  /// Wire size estimate: fixed header + payload bytes of carried entries.
+  // InstallSnapshot: opaque state-machine snapshot (the owner's registered
+  // payload type; may be empty when the state machine is external, e.g. the
+  // reliable-broadcast groups whose deliveries are covered by a
+  // Canopus-level snapshot). prev_log_index/prev_log_term double as the
+  // last included index/term.
+  simnet::Payload snapshot;
+  std::size_t snapshot_bytes = 0;
+
+  /// Wire size estimate: fixed header + payload bytes of carried entries
+  /// (or the carried snapshot).
   std::size_t wire_bytes() const {
-    std::size_t b = 64;
+    std::size_t b = 64 + snapshot_bytes;
     for (const LogEntry& e : entries) b += 16 + e.bytes;
     return b;
   }

@@ -149,6 +149,11 @@ void RaftNode::broadcast_heartbeats() {
 void RaftNode::send_append(NodeId peer) {
   const auto pos = static_cast<std::size_t>(
       std::find(members_.begin(), members_.end(), peer) - members_.begin());
+  if (next_index_[pos] <= log_.base_index()) {
+    // The entries this peer needs were compacted away: state transfer.
+    send_install_snapshot(peer);
+    return;
+  }
   WireMsg m;
   m.group = group_;
   m.type = MsgType::kAppendEntries;
@@ -168,6 +173,10 @@ void RaftNode::send_new_entries(NodeId peer) {
   const LogIndex start =
       std::max(next_index_[pos], sent_up_to_[pos] + 1);
   if (start > log_.last_index()) return;  // nothing new on the wire
+  if (start <= log_.base_index()) {
+    send_install_snapshot(peer);
+    return;
+  }
   WireMsg m;
   m.group = group_;
   m.type = MsgType::kAppendEntries;
@@ -198,6 +207,10 @@ void RaftNode::notify_commit(NodeId peer) {
   // makes committing up to the anchor safe. No payload travels.
   m.prev_log_index = std::min(
       commit_, std::max(match_index_[pos], sent_up_to_[pos]));
+  // Never anchor inside the compacted prefix — the term there is unknown.
+  // A peer that genuinely lags behind the base fails the consistency check
+  // and is repaired (ultimately by InstallSnapshot) via the nack path.
+  m.prev_log_index = std::max(m.prev_log_index, log_.base_index());
   m.prev_log_term = log_.term_at(m.prev_log_index);
   m.leader_commit = commit_;
   cb_.send(peer, m);
@@ -234,6 +247,9 @@ void RaftNode::on_message(NodeId src, const WireMsg& m) {
       break;
     case MsgType::kAppendReply:
       handle_append_reply(src, m);
+      break;
+    case MsgType::kInstallSnapshot:
+      handle_install_snapshot(src, m);
       break;
     case MsgType::kGroupDissolved:
       break;  // handled by the layer above (rbcast)
@@ -286,17 +302,28 @@ void RaftNode::handle_append_entries(NodeId src, const WireMsg& m) {
   last_leader_contact_ = sim_.now();
   reset_election_timer();
 
-  // Consistency check.
+  // Consistency check. An anchor inside our compacted prefix is consistent
+  // by construction: everything at or below the base was committed and
+  // covered by the installed snapshot (Log Matching makes re-checking it
+  // unnecessary — and impossible, the terms are gone).
   if (m.prev_log_index > log_.last_index() ||
-      log_.term_at(m.prev_log_index) != m.prev_log_term) {
+      (m.prev_log_index >= log_.base_index() &&
+       log_.term_at(m.prev_log_index) != m.prev_log_term)) {
+    // Hint the leader with our last index so backoff jumps straight to the
+    // end of our log instead of spiralling one entry per round trip — the
+    // difference between O(1) and O(log-length) round trips when a fresh
+    // member (empty log) joins a long-lived group.
+    reply.match_index = log_.last_index();
     cb_.send(src, reply);
     return;
   }
 
-  // Append/repair: drop conflicting suffix, append new entries.
+  // Append/repair: drop conflicting suffix, append new entries. Entries at
+  // or below the compaction base are already covered by installed state.
   LogIndex idx = m.prev_log_index;
   for (const LogEntry& e : m.entries) {
     ++idx;
+    if (idx <= log_.base_index()) continue;
     if (idx <= log_.last_index()) {
       if (log_.term_at(idx) == e.term) continue;  // already have it
       log_.truncate_after(idx - 1);
@@ -335,11 +362,96 @@ void RaftNode::handle_append_reply(NodeId src, const WireMsg& m) {
     next_index_[pos] = std::max(next_index_[pos], match_index_[pos] + 1);
     advance_commit();
   } else {
-    // Back off and retry the consistency check one entry earlier.
-    if (next_index_[pos] > 1) --next_index_[pos];
-    sent_up_to_[pos] = next_index_[pos] - 1;
-    send_append(src);
+    // Back off and retry the consistency check one entry earlier — or jump
+    // straight past the follower's last index when its nack hints at one
+    // (a follower can never match beyond its own log).
+    LogIndex next = next_index_[pos] > 1 ? next_index_[pos] - 1 : 1;
+    next = std::max<LogIndex>(1, std::min(next, m.match_index + 1));
+    next_index_[pos] = next;
+    sent_up_to_[pos] = next - 1;
+    send_append(src);  // redirects to InstallSnapshot below the base
   }
+}
+
+void RaftNode::send_install_snapshot(NodeId peer) {
+  const auto pos = static_cast<std::size_t>(
+      std::find(members_.begin(), members_.end(), peer) - members_.begin());
+  WireMsg m;
+  m.group = group_;
+  m.type = MsgType::kInstallSnapshot;
+  m.term = term_;
+  m.prev_log_index = snap_index_;
+  m.prev_log_term = snap_term_;
+  m.leader_commit = commit_;
+  m.snapshot = snap_payload_;
+  m.snapshot_bytes = snap_bytes_;
+  next_index_[pos] = snap_index_ + 1;
+  sent_up_to_[pos] = snap_index_;
+  ++snapshots_sent_;
+  cb_.send(peer, m);
+}
+
+void RaftNode::handle_install_snapshot(NodeId src, const WireMsg& m) {
+  WireMsg reply;
+  reply.group = group_;
+  reply.type = MsgType::kAppendReply;
+  reply.term = term_;
+  reply.success = false;
+
+  if (m.term < term_) {
+    cb_.send(src, reply);
+    return;
+  }
+  if (role_ != Role::kFollower) become_follower(m.term);
+  if (leader_ != src) {
+    leader_ = src;
+    if (cb_.on_leader_change) cb_.on_leader_change(src, term_);
+  }
+  last_leader_contact_ = sim_.now();
+  reset_election_timer();
+
+  const LogIndex s = m.prev_log_index;
+  if (s <= commit_) {
+    // Duplicate/stale install: we already hold (and applied) this prefix.
+    reply.success = true;
+    reply.match_index = commit_;
+    cb_.send(src, reply);
+    return;
+  }
+  // Adopt the snapshot: it covers everything up to s, including any
+  // uncommitted local tail (which a quorum never acked — safe to drop).
+  log_.reset_to_snapshot(s, m.prev_log_term);
+  commit_ = s;
+  applied_ = s;
+  snap_index_ = s;
+  snap_term_ = m.prev_log_term;
+  snap_payload_ = m.snapshot;
+  snap_bytes_ = m.snapshot_bytes;
+  ++snapshots_installed_;
+  if (cb_.install_snapshot) cb_.install_snapshot(s, m.snapshot);
+
+  reply.success = true;
+  reply.match_index = s;
+  cb_.send(src, reply);
+}
+
+void RaftNode::maybe_compact() {
+  if (opt_.compaction_threshold == 0) return;      // compaction disabled
+  if (applied_ <= log_.base_index()) return;
+  if (applied_ - log_.base_index() <= opt_.compaction_threshold) return;
+  const LogIndex target = applied_ > opt_.compaction_keep
+                              ? applied_ - opt_.compaction_keep
+                              : 0;
+  if (target <= log_.base_index()) return;
+  // Capture at the apply frontier (the state the snapshot actually
+  // represents), then discard the prefix while keeping compaction_keep
+  // trailing entries so slightly-lagging followers avoid a state transfer.
+  snap_index_ = applied_;
+  snap_term_ = log_.term_at(applied_);
+  snap_bytes_ = 0;
+  snap_payload_ =
+      cb_.make_snapshot ? cb_.make_snapshot(snap_bytes_) : simnet::Payload{};
+  log_.compact_to(target);
 }
 
 void RaftNode::remove_member(NodeId peer) {
@@ -406,6 +518,10 @@ void RaftNode::advance_commit() {
 }
 
 void RaftNode::apply_committed() {
+  // on_commit may re-enter (propose -> advance_commit -> apply_committed);
+  // compaction must wait for the outermost frame, or it would erase the
+  // entry an outer frame's callback still references.
+  ++apply_depth_;
   while (applied_ < commit_) {
     ++applied_;
     const LogEntry& e = log_.at(applied_);
@@ -415,6 +531,7 @@ void RaftNode::apply_committed() {
       cb_.on_commit(applied_, e);
     }
   }
+  if (--apply_depth_ == 0) maybe_compact();
 }
 
 }  // namespace canopus::raft

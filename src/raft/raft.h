@@ -42,6 +42,16 @@ struct Options {
   /// peer. Protects briefly-backlogged peers from a retransmit spiral
   /// while still repairing genuinely lossy/recovered followers.
   Time repair_timeout = 75 * kMillisecond;
+  /// Log compaction (Raft §7): once more than `compaction_threshold`
+  /// applied entries are retained, the node snapshots its state machine
+  /// (via Callbacks::make_snapshot) and discards the applied prefix,
+  /// keeping `compaction_keep` trailing entries so slightly-lagging
+  /// followers are still repaired by ordinary AppendEntries instead of a
+  /// state transfer. 0 disables compaction (unbounded log, the
+  /// pre-snapshot behaviour). Compaction itself is local — no messages,
+  /// no CPU charge — so enabling it never perturbs a healthy trace.
+  std::size_t compaction_threshold = 1024;
+  std::size_t compaction_keep = 256;
 };
 
 class RaftNode {
@@ -61,6 +71,17 @@ class RaftNode {
     /// entries, which makes it usable as an agreed failure-detection point
     /// (Canopus §4.3/§4.6 exclusion semantics). May be null.
     std::function<void(NodeId leader, Term term)> on_noop_commit;
+    /// Compaction: captures the owner's state machine at the apply
+    /// frontier. Called when the log crosses compaction_threshold; the
+    /// returned payload is cached and shipped in InstallSnapshot to
+    /// followers that fell behind the compaction base. May be null (an
+    /// empty snapshot is installed — the owner's state lives elsewhere).
+    std::function<simnet::Payload(std::size_t& bytes)> make_snapshot;
+    /// Install: replaces the owner's state machine with `snapshot` (all
+    /// entries <= the snapshot index were covered by it and will never be
+    /// surfaced via on_commit on this member). May be null.
+    std::function<void(LogIndex index, const simnet::Payload& snapshot)>
+        install_snapshot;
   };
 
   RaftNode(GroupId group, NodeId self, std::vector<NodeId> members,
@@ -119,6 +140,12 @@ class RaftNode {
   /// input for the layers above).
   Time time_since_leader_contact() const;
 
+  /// Compaction observability: retained log entries and installs received.
+  std::size_t log_entries_retained() const { return log_.size(); }
+  LogIndex compaction_base() const { return log_.base_index(); }
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t snapshots_sent() const { return snapshots_sent_; }
+
  private:
   void become_follower(Term term);
   void become_candidate();
@@ -141,6 +168,9 @@ class RaftNode {
   void handle_vote_reply(NodeId src, const WireMsg& m);
   void handle_append_entries(NodeId src, const WireMsg& m);
   void handle_append_reply(NodeId src, const WireMsg& m);
+  void handle_install_snapshot(NodeId src, const WireMsg& m);
+  void send_install_snapshot(NodeId peer);
+  void maybe_compact();
 
   GroupId group_;
   NodeId self_;
@@ -162,6 +192,18 @@ class RaftNode {
   LogIndex commit_ = 0;
   LogIndex applied_ = 0;
   Time last_leader_contact_ = 0;
+
+  // Compaction state: the cached snapshot at the capture frontier (shipped
+  // verbatim to every follower that needs it — one capture, N sends). The
+  // snapshot is taken at the apply frontier, so snap_index_ >= the log base
+  // always holds and installs fast-forward past every compacted entry.
+  LogIndex snap_index_ = 0;
+  Term snap_term_ = 0;
+  simnet::Payload snap_payload_;
+  std::size_t snap_bytes_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
+  std::uint64_t snapshots_sent_ = 0;
+  int apply_depth_ = 0;  // reentrancy guard: compact only at the outer frame
 
   // Candidate state.
   std::unordered_set<NodeId> votes_;

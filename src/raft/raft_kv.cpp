@@ -18,6 +18,22 @@ void RaftKvNode::on_start() {
     if (const auto* b = e.payload.as<KvBatch>(); b != nullptr && b->reqs)
       apply(idx, *b->reqs);
   };
+  cb.make_snapshot = [this](std::size_t& bytes) {
+    KvSnapshot s;
+    s.snap.image = std::make_shared<const kv::StoreImage>(
+        store_.export_image());
+    s.snap.digest_hash = digest_.value();
+    s.snap.digest_count = digest_.count();
+    bytes = s.wire_bytes();
+    return simnet::Payload(std::move(s));
+  };
+  cb.install_snapshot = [this](LogIndex, const simnet::Payload& p) {
+    const auto* s = p.as<KvSnapshot>();
+    if (s == nullptr) return;
+    if (s->snap.image) store_.restore(*s->snap.image);
+    digest_.restore(s->snap.digest_hash, s->snap.digest_count);
+    if (on_snapshot_install) on_snapshot_install(s->snap);
+  };
   raft_ = std::make_unique<RaftNode>(/*group=*/0, node_id(), members_, sim(),
                                      std::move(cb), cfg_.raft);
   raft_->start(/*bootstrap_as_leader=*/node_id() == members_[0]);

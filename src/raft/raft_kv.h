@@ -63,6 +63,14 @@ struct KvForward {
   }
 };
 
+/// Compaction snapshot payload (rides inside raft::WireMsg InstallSnapshot):
+/// the KV image plus digest state, so a far-behind follower fast-forwards to
+/// the leader's applied frontier and its audit chain continues exactly.
+struct KvSnapshot {
+  kv::Snapshot snap;
+  std::size_t wire_bytes() const { return snap.wire_bytes(); }
+};
+
 class RaftKvNode : public simnet::Process {
  public:
   /// `members` lists every server; members[0] bootstraps as leader.
@@ -91,10 +99,19 @@ class RaftKvNode : public simnet::Process {
   std::uint64_t served_reads() const { return served_reads_; }
   const kv::Store& store() const { return store_; }
   const kv::CommitDigest& digest() const { return digest_; }
+  std::uint64_t snapshots_installed() const {
+    return raft_ ? raft_->snapshots_installed() : 0;
+  }
+  std::size_t log_entries_retained() const {
+    return raft_ ? raft_->log_entries_retained() : 0;
+  }
 
   /// Fired at apply time with each committed batch (log order, identical on
   /// every live member).
   std::function<void(LogIndex, const std::vector<kv::Request>&)> on_commit;
+  /// Fired when this member installs a leader snapshot (it skipped the
+  /// compacted entries and adopted the image + digest state wholesale).
+  std::function<void(const kv::Snapshot&)> on_snapshot_install;
 
  private:
   void enqueue(kv::Request r);
@@ -122,3 +139,4 @@ class RaftKvNode : public simnet::Process {
 
 CANOPUS_REGISTER_PAYLOAD(canopus::raft::KvBatch, kRaftKvBatch);
 CANOPUS_REGISTER_PAYLOAD(canopus::raft::KvForward, kRaftKvForward);
+CANOPUS_REGISTER_PAYLOAD(canopus::raft::KvSnapshot, kRaftKvSnapshot);

@@ -36,10 +36,12 @@ enum class PayloadTag : std::uint16_t {
 
   // raft/ — all four RPCs plus control frames share one struct.
   kRaftWire,
-  // raft/ standalone KV deployment (raft_kv.h): replicated batches and the
-  // member -> leader write forwarding frame.
+  // raft/ standalone KV deployment (raft_kv.h): replicated batches, the
+  // member -> leader write forwarding frame, and the compaction snapshot
+  // carried inside InstallSnapshot.
   kRaftKvBatch,
   kRaftKvForward,
+  kRaftKvSnapshot,
 
   // canopus/ — protocol wire messages (§4.2, §4.5, §3).
   kCanopusProposal,
@@ -58,6 +60,8 @@ enum class PayloadTag : std::uint16_t {
   kZabCommit,
   kZabInform,
   kZabSyncReq,
+  kZabSnapshot,
+  kZabSyncTooOld,
 
   // epaxos/ — leaderless baseline.
   kEpaxosPreAccept,
@@ -67,6 +71,8 @@ enum class PayloadTag : std::uint16_t {
   kEpaxosCommitFull,
   kEpaxosSeqProbe,
   kEpaxosSeqInfo,
+  kEpaxosSnapRequest,
+  kEpaxosSnapshot,
 
   // rbcast/ — hardware-assisted atomic broadcast frames.
   kSwitchFrame,

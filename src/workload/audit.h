@@ -108,6 +108,43 @@ class HistoryAuditor {
     }
   }
 
+  /// Node i installed a state snapshot covering `count` committed writes
+  /// with cumulative commit fingerprint `fingerprint` (plus the KV image).
+  /// The hole between the node's last recorded write and the snapshot point
+  /// was adopted wholesale, never observed write by write, so:
+  ///  * the hash chain is padded with *unknown* prefix digests up to
+  ///    count-1 and pinned to `fingerprint` at count — prefix checks then
+  ///    compare at the deepest mutually-KNOWN prefix instead of reading the
+  ///    padding as a fork;
+  ///  * the rolling digest restarts from the donor state, so post-install
+  ///    commits chain exactly like the donor's;
+  ///  * the image's (key, value) pairs join the node's committed-value set
+  ///    as synthetic entries (id 0) so the phantom/stale read checks know
+  ///    the node legitimately serves them. Synthetic entries are counted
+  ///    apart and excluded from committed_writes().
+  /// Installs never rewind: a snapshot at or below the recorded history is
+  /// ignored (protocol-side guards only install when strictly behind).
+  void note_snapshot_install(std::size_t i, std::uint64_t count,
+                             std::uint64_t fingerprint,
+                             const kv::StoreImage* image) {
+    NodeHistory& h = nodes_[i];
+    if (count <= h.chain.size()) return;
+    h.known.resize(h.chain.size(), std::uint8_t{1});
+    while (h.chain.size() + 1 < count) {
+      h.chain.push_back(0);
+      h.known.push_back(0);
+    }
+    h.chain.push_back(fingerprint);
+    h.known.push_back(1);
+    h.digest.restore(fingerprint, count);
+    if (image) {
+      for (const auto& [key, value] : *image) {
+        h.log.push_back({0, key, value});
+        ++h.synthetic;
+      }
+    }
+  }
+
   /// Records a completion observed by client `client` from server index
   /// `server` at time `now`.
   ///
@@ -150,6 +187,11 @@ class HistoryAuditor {
                                const std::vector<kv::Request>& batch) {
       note_commit(i, batch);
     };
+    service.on_snapshot_install = [this](std::size_t i,
+                                         const kv::Snapshot& s) {
+      note_snapshot_install(i, s.digest_count, s.digest_hash,
+                            s.image.get());
+    };
     if (cfg_.ordered)
       sim.at(first_probe, [this] { probe(); });
   }
@@ -191,11 +233,19 @@ class HistoryAuditor {
         const std::size_t n =
             std::min(nodes_[i].chain.size(), nodes_[j].chain.size());
         if (n == 0) continue;
-        if (nodes_[i].chain[n - 1] != nodes_[j].chain[n - 1]) {
+        // Compare at the deepest prefix BOTH nodes know the digest of
+        // (snapshot installs leave unknown padding, see
+        // note_snapshot_install). Walk-back is bounded by the padded span.
+        std::size_t k = n;
+        while (k > 0 &&
+               !(known_at(nodes_[i], k - 1) && known_at(nodes_[j], k - 1)))
+          --k;
+        if (k == 0) continue;
+        if (nodes_[i].chain[k - 1] != nodes_[j].chain[k - 1]) {
           diverged_pairs_.insert(i * nodes_.size() + j);
           record(AuditViolation::Kind::kPrefixDivergence, now,
                  "nodes " + std::to_string(i) + " and " + std::to_string(j) +
-                     " forked within their first " + std::to_string(n) +
+                     " forked within their first " + std::to_string(k) +
                      " committed writes");
         }
       }
@@ -308,7 +358,7 @@ class HistoryAuditor {
   std::uint64_t acked_writes() const { return acked_.size(); }
   std::uint64_t observed_reads() const { return reads_.size(); }
   std::uint64_t committed_writes(std::size_t i) const {
-    return nodes_[i].log.size();
+    return nodes_[i].log.size() - nodes_[i].synthetic;
   }
 
  private:
@@ -319,7 +369,18 @@ class HistoryAuditor {
     std::vector<Committed> log;
     kv::CommitDigest digest;  ///< rolling digest (same as the node audits)
     std::vector<std::uint64_t> chain;  ///< digest snapshot per prefix length
+    /// Parallel to `chain`, lazily materialized on the first snapshot
+    /// install: 0 marks padded positions whose digest was never observed.
+    /// Empty, or any index beyond its size, means "known".
+    std::vector<std::uint8_t> known;
+    /// Synthetic log entries appended from snapshot images (excluded from
+    /// committed_writes()).
+    std::uint64_t synthetic = 0;
   };
+
+  static bool known_at(const NodeHistory& h, std::size_t idx) {
+    return idx >= h.known.size() || h.known[idx] != 0;
+  }
   struct Acked {
     std::uint64_t id;
     Time at;

@@ -146,16 +146,50 @@ inline std::vector<FaultScenario> standard_scenarios(int groups,
 
 /// Single-DC fault-plane tuning: repair/retry intervals sized for rack RTTs
 /// so post-heal recovery completes within a scenario's after-phase (the
-/// defaults are sized for WAN RTTs; see each Config's comments), and a
-/// repair window deep enough to cover the instances a node misses while
-/// faulted at scenario rates (the small default is sized for saturation
-/// benches, where batches are huge and nothing crashes).
+/// defaults are sized for WAN RTTs; see each Config's comments). Repair
+/// windows stay at their production-scale defaults: a node that misses more
+/// than the retained history is repaired by snapshot/state transfer, so the
+/// old trick of inflating the windows until nothing ever fell out of them
+/// (and memory grew with downtime) is gone.
 inline TrialConfig fault_tuned(TrialConfig tc) {
   tc.canopus.fetch_timeout = 100 * kMillisecond;
   tc.epaxos.repair_retry = 25 * kMillisecond;
-  tc.epaxos.repair_window = 8'192;
   tc.zab.sync_retry = 25 * kMillisecond;
   return tc;
+}
+
+/// The compaction bound: the most log records any node of the configured
+/// system may retain, regardless of how long a peer stayed dark. Runners
+/// assert ConsensusService::log_entries_retained against this at the end of
+/// every trial — with snapshots repairing anything beyond the retained
+/// window, a breach means compaction silently stopped working.
+inline std::uint64_t retained_log_bound(const TrialConfig& tc) {
+  switch (tc.system) {
+    case System::kRaft:
+      // Retained = last_index - compaction base; compaction fires past the
+      // threshold and keeps `compaction_keep`, so steady state sits near
+      // threshold + keep with slack for entries committed between checks.
+      return 2 * (tc.raft.raft.compaction_threshold +
+                  tc.raft.raft.compaction_keep);
+    case System::kZab:
+      return tc.zab.history_depth;  // the leader's catch-up ring, exact
+    case System::kEPaxos:
+      return tc.epaxos.repair_window;  // the repair ring, exact
+    case System::kCanopus: {
+      // prune_history keeps 64 committed cycles (2x the pipelining window
+      // when pipelined, for rejoin catch-up) plus what is in flight.
+      const std::uint64_t window = tc.canopus.pipelining
+                                       ? tc.canopus.max_outstanding_cycles
+                                       : 1;
+      const std::uint64_t keep =
+          tc.canopus.pipelining
+              ? std::max<std::uint64_t>(
+                    64, 2 * tc.canopus.max_outstanding_cycles)
+              : 64;
+      return keep + window + 2;
+    }
+  }
+  return 0;
 }
 
 // --------------------------------------------------------------------------
@@ -306,13 +340,52 @@ inline FaultScenario scope_to_group(FaultScenario s, int group,
   return s;
 }
 
+/// The scenario the snapshot/state-transfer layer exists for: ONE server
+/// stays dark long enough for the survivors to commit more writes than any
+/// retained history covers (Zab's history ring, EPaxos' repair ring, Raft's
+/// compacted log, Canopus' pruned cycles), then recovers. Before snapshots
+/// this was the silent catch-up stall: the returning node fetched history
+/// that no longer existed and retried forever while the windows were
+/// inflated trial-by-trial to paper over it. Now the node must come back by
+/// state transfer — snapshots_installed > 0, retention_ok, and convergence
+/// are the assertions.
+inline FaultScenario long_downtime_scenario(int per_group,
+                                            const FaultTiming& ft) {
+  FaultScenario s;
+  s.name = "long_downtime";
+  s.description =
+      "one server dark past every retained-history window, rejoins by "
+      "snapshot/state transfer";
+  const int victim = per_group;  // first server of group 1
+  s.steps.push_back({ft.fault_at, FaultScenario::Op::kCrash, victim, -1});
+  s.steps.push_back({ft.heal_at, FaultScenario::Op::kRecover, victim, -1});
+  return s;
+}
+
+/// Timing for long_downtime: the fault window spans enough commits at
+/// scenario rates to overflow every production-scale history window, and
+/// the after-phase covers the slowest repair path (Canopus re-admission
+/// waits out a 3x-election-timeout grace after the exclusion before a
+/// sibling sponsors the rejoin).
+inline FaultTiming long_downtime_timing() {
+  FaultTiming ft;
+  ft.warmup = 200 * kMillisecond;
+  ft.fault_at = 500 * kMillisecond;
+  ft.heal_at = 2'500 * kMillisecond;  // ~2 s dark
+  ft.end_at = 4'500 * kMillisecond;
+  ft.drain = 800 * kMillisecond;
+  return ft;
+}
+
 /// Geo-failover: every server of datacenter `dc` crashes at fault_at and
 /// recovers at heal_at — the bench_failures --wan scenario. Killing DC 0
 /// takes the Zab/Raft leader with it, so the during-phase availability and
 /// the failover time measure leader re-election under a whole-DC outage;
 /// for Canopus a dead DC is a dead super-leaf: a documented stall
-/// (majority_loss semantics), and with no rejoin path the DC stays dark
-/// after heal_at.
+/// (majority_loss semantics) until the DC's pnodes rejoin — and a whole-DC
+/// outage leaves no live sibling to sponsor the first joiner, so the DC
+/// can only come back once the deployment's membership machinery re-admits
+/// it (the during-phase stall is the measurement).
 inline FaultScenario dc_outage_scenario(int dc, int per_group,
                                         const FaultTiming& ft) {
   FaultScenario s;
@@ -347,6 +420,7 @@ struct ScenarioResult {
   std::size_t comparable_nodes = 0;
   std::uint64_t committed_writes = 0;  ///< max over comparable nodes
   std::uint64_t commit_spread = 0;     ///< max - min count over comparable
+  std::uint64_t fingerprint = 0;       ///< at the deepest count class
 
   /// Client-observed failover time: completion time of the first WRITE
   /// that arrived at or after fault_at, minus fault_at; -1 when no
@@ -366,6 +440,14 @@ struct ScenarioResult {
   std::uint64_t progress_at_mid = 0;  ///< at (fault_at + heal_at) / 2
   std::uint64_t progress_at_heal = 0;
   std::uint64_t progress_at_end = 0;
+
+  // Compaction/state-transfer observability: snapshots installed across the
+  // fleet, the largest per-node retained log at run end, and whether it
+  // stayed within retained_log_bound (it must — a breach means compaction
+  // silently stopped and memory is growing with downtime again).
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t max_log_retained = 0;
+  bool retention_ok = true;
   bool stalled_during() const { return progress_at_heal <= progress_at_mid; }
   bool progressed_after() const { return progress_at_end > progress_at_heal; }
 
@@ -436,9 +518,10 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   sim.at(ft.heal_at, [&] { res.progress_at_heal = max_progress(); });
 
   // Map server indices -> NodeIds and arm the schedule, routing node
-  // faults through the service. Tolerate mode: the standard suite arms
-  // recovers against Canopus on purpose — "crashed pnodes stay dark" is
-  // the §4.6 outcome these scenarios measure.
+  // faults through the service. Every system now has a repair path (Raft/
+  // Zab/EPaxos snapshot transfer, Canopus sponsored rejoin), so strict
+  // arming would accept these schedules too; tolerate mode is kept so
+  // hand-rolled TrialConfigs that disable a repair path still run.
   const simnet::FaultSchedule sched =
       make_schedule(scenario, cluster.servers);
   arm_via_service(sched, net, *service,
@@ -476,6 +559,17 @@ inline ScenarioResult run_fault_scenario(const TrialConfig& tc,
   }
   res.committed_writes = max_count;
   res.commit_spread = max_count - min_count;
+  if (!fp_by_count.empty()) res.fingerprint = fp_by_count.rbegin()->second;
+
+  // --- compaction audit ---------------------------------------------------
+  const std::uint64_t bound = retained_log_bound(tc);
+  for (std::size_t i = 0; i < service->num_servers(); ++i) {
+    res.snapshots_installed += service->snapshots_installed(i);
+    if (!service->up(i)) continue;
+    res.max_log_retained =
+        std::max(res.max_log_retained, service->log_entries_retained(i));
+  }
+  res.retention_ok = res.max_log_retained <= bound;
   return res;
 }
 

@@ -15,10 +15,9 @@
 //    (un-proposed batches, unsent replies) is lost; committed state models
 //    a durable log.
 //  * recover(i) — restart with durable state; the protocol's own repair
-//    path (Raft log backoff, Zab catch-up, EPaxos instance fetch) brings
-//    the node back to the common prefix. Returns false where the protocol
-//    has no rejoin path (Canopus: a failed pnode is excluded by membership
-//    update, §4.6, and would rejoin as a *new* node — an open item).
+//    path (Raft log backoff or InstallSnapshot, Zab catch-up or snapshot
+//    sync, EPaxos instance fetch or snapshot transfer, Canopus rejoin by
+//    sponsor state transfer) brings the node back to the common prefix.
 //  * commit_fingerprint(i) — the agreement check: equal fingerprints (and
 //    counts) on two comparable nodes mean they committed the same writes.
 //    Ordered systems hash the committed *sequence* (kv::CommitDigest);
@@ -90,7 +89,9 @@ class ConsensusService {
   virtual bool supports_recover() const { return true; }
 
   /// Whether node i's fingerprint participates in the agreement check.
-  bool comparable(std::size_t i) const {
+  /// Concrete services may narrow this further (a Canopus node mid-rejoin
+  /// is not yet a member and its digest chain restarts at the install).
+  virtual bool comparable(std::size_t i) const {
     return up_[i] && (supports_recover() || !ever_crashed_[i]);
   }
 
@@ -104,12 +105,29 @@ class ConsensusService {
   virtual std::uint64_t progress(std::size_t i) const = 0;
   virtual const kv::Store& store(std::size_t i) const = 0;
 
+  // --- compaction/state-transfer observers ------------------------------
+  /// Snapshots node i installed (received from a donor) since start.
+  virtual std::uint64_t snapshots_installed(std::size_t /*i*/) const {
+    return 0;
+  }
+  /// Log records node i currently retains (the memory footprint the
+  /// compaction bound caps): Raft log entries, Zab history batches, EPaxos
+  /// instance-ring residents, Canopus cycle states.
+  virtual std::uint64_t log_entries_retained(std::size_t /*i*/) const {
+    return 0;
+  }
+
   /// Fired at commit/execute time: (server index, protocol unit, batch).
   /// The batch is the protocol's committed request batch, in its local
   /// apply order.
   std::function<void(std::size_t, std::uint64_t,
                      const std::vector<kv::Request>&)>
       on_commit;
+
+  /// Fired when a node installs a state snapshot (server index, snapshot).
+  /// The audit plane uses this to reconcile the node's history: the
+  /// installed prefix is adopted wholesale, not replayed write by write.
+  std::function<void(std::size_t, const kv::Snapshot&)> on_snapshot_install;
 
  protected:
   ConsensusService(runtime::Host& host, std::vector<NodeId> servers)
@@ -158,6 +176,18 @@ class NodeService : public ConsensusService {
   const kv::Store& store(std::size_t i) const override {
     return nodes_[i]->store();
   }
+  std::uint64_t snapshots_installed(std::size_t i) const override {
+    if constexpr (requires(const Node& n) { n.snapshots_installed(); })
+      return nodes_[i]->snapshots_installed();
+    else
+      return 0;
+  }
+  std::uint64_t log_entries_retained(std::size_t i) const override {
+    if constexpr (requires(const Node& n) { n.log_entries_retained(); })
+      return nodes_[i]->log_entries_retained();
+    else
+      return 0;
+  }
 
   Node& node(std::size_t i) { return *nodes_[i]; }
 
@@ -194,12 +224,27 @@ class CanopusService final : public NodeService<core::CanopusNode> {
                        std::move(cfg)) {}
 
   const char* name() const override { return "Canopus"; }
-  /// A failed pnode is excluded via membership update (§4.6); rejoining is
-  /// an open item, so recovery is unsupported and the node stays dark.
-  bool supports_recover() const override { return false; }
+
+  /// A failed pnode is excluded via membership update (§4.6) and re-admitted
+  /// by the rejoin path: a live super-leaf sibling sponsors its kJoin and
+  /// transfers a full state snapshot (CanopusNode::recover).
+  bool supports_recover() const override { return true; }
+
+  /// A node between recover() and its snapshot install is not yet a member:
+  /// its digest chain restarts at the install, so it only rejoins the
+  /// agreement check once the transfer lands.
+  bool comparable(std::size_t i) const override {
+    return ConsensusService::comparable(i) && !nodes_[i]->joining();
+  }
 
   std::uint64_t progress(std::size_t i) const override {
     return nodes_[i]->last_committed_cycle();
+  }
+  std::uint64_t snapshots_installed(std::size_t i) const override {
+    return nodes_[i]->snapshots_installed();
+  }
+  std::uint64_t log_entries_retained(std::size_t i) const override {
+    return nodes_[i]->retained_cycles();
   }
 
   const lot::Lot& lot() const { return *lot_; }
@@ -212,11 +257,15 @@ class CanopusService final : public NodeService<core::CanopusNode> {
                       return std::make_unique<core::CanopusNode>(lot, cfg);
                     }),
         lot_(std::move(lot)) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
       nodes_[i]->on_commit = [this, i](CycleId c,
                                        const std::vector<kv::Request>& w) {
         if (on_commit) on_commit(i, c, w);
       };
+      nodes_[i]->on_snapshot_install = [this, i](const kv::Snapshot& s) {
+        if (on_snapshot_install) on_snapshot_install(i, s);
+      };
+    }
   }
 
   std::shared_ptr<const lot::Lot> lot_;
@@ -233,11 +282,15 @@ class RaftService final : public NodeService<raft::RaftKvNode> {
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<raft::RaftKvNode>(servers_, cfg);
         }) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
       nodes_[i]->on_commit = [this, i](raft::LogIndex idx,
                                        const std::vector<kv::Request>& w) {
         if (on_commit) on_commit(i, idx, w);
       };
+      nodes_[i]->on_snapshot_install = [this, i](const kv::Snapshot& s) {
+        if (on_snapshot_install) on_snapshot_install(i, s);
+      };
+    }
   }
 
   const char* name() const override { return "Raft"; }
@@ -257,11 +310,16 @@ class ZabService final : public NodeService<zab::ZabNode> {
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<zab::ZabNode>(servers_, cfg);
         }) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
       nodes_[i]->on_commit = [this, i](zab::Zxid z,
                                        const std::vector<kv::Request>& w) {
         if (on_commit) on_commit(i, z, w);
       };
+      nodes_[i]->on_snapshot_install = [this, i](zab::Zxid,
+                                                 const kv::Snapshot& s) {
+        if (on_snapshot_install) on_snapshot_install(i, s);
+      };
+    }
   }
 
   const char* name() const override { return "ZooKeeper"; }
@@ -281,11 +339,15 @@ class EPaxosService final : public NodeService<epaxos::EPaxosNode> {
       : NodeService(net, std::move(servers), [&](std::size_t) {
           return std::make_unique<epaxos::EPaxosNode>(servers_, cfg);
         }) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
       nodes_[i]->on_execute =
           [this, i](const std::vector<kv::Request>& batch) {
             if (on_commit) on_commit(i, 0, batch);
           };
+      nodes_[i]->on_snapshot_install = [this, i](const kv::Snapshot& s) {
+        if (on_snapshot_install) on_snapshot_install(i, s);
+      };
+    }
   }
 
   const char* name() const override { return "EPaxos"; }

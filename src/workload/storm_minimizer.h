@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -288,6 +289,127 @@ struct StormJsonMeta {
   std::size_t probes = 0;
   std::size_t duration_shrinks = 0;
 };
+
+/// Inverts simnet::fault_kind_name. False when `name` is no fault kind.
+inline bool fault_kind_parse(const std::string& name,
+                             simnet::FaultEvent::Kind* out) {
+  using K = simnet::FaultEvent::Kind;
+  for (int k = static_cast<int>(K::kCrash); k <= static_cast<int>(K::kSkewClear);
+       ++k) {
+    if (name == simnet::fault_kind_name(static_cast<K>(k))) {
+      *out = static_cast<K>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A canopus-storm-v1 artifact read back from disk: the schedule plus the
+/// grid coordinates needed to replay it.
+struct LoadedStorm {
+  std::string system;
+  std::string intensity;
+  std::uint64_t seed = 0;
+  double offered_rate = 0;
+  simnet::FaultSchedule storm;
+};
+
+/// Parses a canopus-storm-v1 document (the exact shape storm_to_json
+/// emits; whitespace-tolerant). Returns false on schema mismatch or any
+/// malformed field — a truncated artifact must fail loudly, not replay a
+/// partial storm. Hand-rolled against the fixed schema: flat meta fields
+/// plus one array of flat event objects, so no general JSON machinery is
+/// needed (and none is available in-tree).
+inline bool storm_from_json(const std::string& text, LoadedStorm* out) {
+  // --- scanning helpers over the raw document ---------------------------
+  const auto find_key = [&](const std::string& key, std::size_t from,
+                            std::size_t* val_begin) {
+    const std::string needle = "\"" + key + "\"";
+    std::size_t p = text.find(needle, from);
+    if (p == std::string::npos) return false;
+    p = text.find(':', p + needle.size());
+    if (p == std::string::npos) return false;
+    ++p;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\n' ||
+                               text[p] == '\t' || text[p] == '\r'))
+      ++p;
+    *val_begin = p;
+    return true;
+  };
+  const auto read_string = [&](std::size_t p, std::string* s) {
+    if (p >= text.size() || text[p] != '"') return false;
+    s->clear();
+    for (++p; p < text.size(); ++p) {
+      if (text[p] == '\\' && p + 1 < text.size()) {
+        s->push_back(text[++p]);
+      } else if (text[p] == '"') {
+        return true;
+      } else {
+        s->push_back(text[p]);
+      }
+    }
+    return false;  // unterminated
+  };
+  const auto read_number = [&](std::size_t p, double* v) {
+    char* end = nullptr;
+    *v = std::strtod(text.c_str() + p, &end);
+    return end != text.c_str() + p;
+  };
+
+  std::size_t p = 0;
+  std::string schema;
+  if (!find_key("schema", 0, &p) || !read_string(p, &schema) ||
+      schema != "canopus-storm-v1")
+    return false;
+  if (!find_key("system", 0, &p) || !read_string(p, &out->system))
+    return false;
+  if (!find_key("intensity", 0, &p) || !read_string(p, &out->intensity))
+    return false;
+  double num = 0;
+  if (!find_key("seed", 0, &p) || !read_number(p, &num)) return false;
+  out->seed = static_cast<std::uint64_t>(num);
+  if (!find_key("offered_rate", 0, &p) || !read_number(p, &num)) return false;
+  out->offered_rate = num;
+
+  std::size_t arr = 0;
+  if (!find_key("events", 0, &arr) || text[arr] != '[') return false;
+  const std::size_t arr_end = text.find(']', arr);
+  if (arr_end == std::string::npos) return false;
+
+  std::size_t cur = arr + 1;
+  while (true) {
+    const std::size_t obj = text.find('{', cur);
+    if (obj == std::string::npos || obj > arr_end) break;
+    const std::size_t obj_end = text.find('}', obj);
+    if (obj_end == std::string::npos || obj_end > arr_end) return false;
+
+    simnet::FaultEvent ev;
+    std::string kind;
+    double at = 0, a = 0, b = 0, x = 0, d = 0;
+    std::size_t q = 0;
+    if (!find_key("at_ns", obj, &q) || q > obj_end || !read_number(q, &at))
+      return false;
+    if (!find_key("kind", obj, &q) || q > obj_end || !read_string(q, &kind) ||
+        !fault_kind_parse(kind, &ev.kind))
+      return false;
+    if (!find_key("a", obj, &q) || q > obj_end || !read_number(q, &a))
+      return false;
+    if (!find_key("b", obj, &q) || q > obj_end || !read_number(q, &b))
+      return false;
+    if (!find_key("x", obj, &q) || q > obj_end || !read_number(q, &x))
+      return false;
+    if (!find_key("d_ns", obj, &q) || q > obj_end || !read_number(q, &d))
+      return false;
+    ev.at = static_cast<Time>(at);
+    ev.a = static_cast<NodeId>(a);
+    ev.b = b < 0 ? kInvalidNode : static_cast<NodeId>(b);
+    ev.x = x;
+    ev.d = static_cast<Time>(d);
+    out->storm.add(ev);
+    cur = obj_end + 1;
+  }
+  return true;
+}
 
 /// Serializes a (minimal) storm as a replayable canopus-storm-v1 JSON
 /// document. Doubles print with %.17g so a schedule re-parsed from the

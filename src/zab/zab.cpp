@@ -119,6 +119,10 @@ void ZabNode::on_message(const simnet::Message& m) {
     handle_inform(*inf);
   } else if (const auto* sr = m.as<SyncReq>()) {
     handle_sync_req(m.src(), *sr);
+  } else if (const auto* snap = m.as<Snapshot>()) {
+    handle_snapshot(*snap);
+  } else if (const auto* old = m.as<SyncTooOld>()) {
+    handle_sync_too_old(*old);
   }
 }
 
@@ -230,15 +234,59 @@ void ZabNode::record_history(
 
 void ZabNode::handle_sync_req(NodeId src, const SyncReq& sr) {
   if (role() != Role::kLeader) return;
+  if (sr.from < history_base_) {
+    // The requested zxid predates retained history. Never black-hole the
+    // requester (the pre-snapshot bug: it would re-request forever):
+    // either ship a full state snapshot at the leader's applied frontier —
+    // which covers the whole retained window too, so no Informs are
+    // needed — or tell the member explicitly that it cannot be repaired.
+    if (cfg_.snapshots) {
+      const Zxid upto = applied_upto();
+      if (snap_cache_upto_ != upto || snap_cache_.image == nullptr) {
+        snap_cache_upto_ = upto;
+        snap_cache_.image =
+            std::make_shared<const kv::StoreImage>(store_.export_image());
+        snap_cache_.digest_hash = digest_.value();
+        snap_cache_.digest_count = digest_.count();
+      }
+      Snapshot s{upto, snap_cache_};
+      ++snapshots_served_;
+      send(src, s.wire_bytes(), s);
+    } else {
+      SyncTooOld t{history_base_};
+      send(src, SyncTooOld::kWire, t);
+    }
+    return;
+  }
   // Resend every committed batch the requester is missing, oldest first.
-  // Batches older than the history window are gone (snapshot transfer is
-  // an open item); the requester stays stalled rather than applying a gap.
   const Zxid first = std::max(sr.from, history_base_);
   const Zxid last = history_base_ + history_.size();  // one past the end
   for (Zxid z = first; z < last; ++z) {
     Inform inf{z, history_[static_cast<std::size_t>(z - history_base_)]};
     send(src, inf.wire_bytes(), inf);
   }
+}
+
+void ZabNode::handle_snapshot(const Snapshot& s) {
+  if (s.upto < next_apply_) return;  // stale: we advanced past it meanwhile
+  store_.restore(s.snap.image ? *s.snap.image : kv::StoreImage{});
+  digest_.restore(s.snap.digest_hash, s.snap.digest_count);
+  next_apply_ = s.upto + 1;
+  max_committed_seen_ = std::max(max_committed_seen_, s.upto);
+  std::erase_if(uncommitted_,
+                [&](const auto& kv) { return kv.first <= s.upto; });
+  std::erase_if(ready_, [&](const auto& kv) { return kv.first <= s.upto; });
+  ++snapshots_installed_;
+  if (on_snapshot_install) on_snapshot_install(s.upto, s.snap);
+  // Later commits may already be parked in ready_.
+  advance_apply();
+}
+
+void ZabNode::handle_sync_too_old(const SyncTooOld&) {
+  // Snapshots are disabled and our gap predates the leader's history: this
+  // member can never catch up. Record the failure and stop the sync-retry
+  // loop — loud and observable (catch_up_failed()), never a silent stall.
+  catch_up_failed_ = true;
 }
 
 void ZabNode::handle_commit(const CommitMsg& c) {
@@ -274,11 +322,12 @@ void ZabNode::advance_apply() {
 }
 
 void ZabNode::arm_sync_timer() {
-  if (sync_timer_armed_ || role() == Role::kLeader) return;
+  if (sync_timer_armed_ || role() == Role::kLeader || catch_up_failed_)
+    return;
   sync_timer_armed_ = true;
   after(cfg_.sync_retry, [this] {
     sync_timer_armed_ = false;
-    if (crashed_) return;
+    if (crashed_ || catch_up_failed_) return;
     if (next_apply_ <= max_committed_seen_) {
       SyncReq sr{next_apply_};
       send(leader_, SyncReq::kWire, sr);

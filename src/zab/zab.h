@@ -49,11 +49,14 @@ struct Config {
   /// Fault-plane tuning: how often the leader retransmits unacked proposals
   /// and a lagging member retries its catch-up request.
   Time sync_retry = 50 * kMillisecond;
-  /// Committed batches the leader retains for member catch-up. A member
-  /// that falls further behind than this window can no longer be repaired
-  /// (real ZooKeeper would ship a snapshot; see ROADMAP open items) and
-  /// stalls — it never applies out of order.
-  std::size_t history_depth = 4'096;
+  /// Committed batches the leader retains for member catch-up; the bound
+  /// on every node's retained log. A member that falls further behind than
+  /// this window is repaired by a full state snapshot (ZooKeeper's fuzzy
+  /// snapshot, modeled at a commit boundary) when `snapshots` is on; with
+  /// snapshots off the leader replies SyncTooOld and the member fails
+  /// loudly instead of silently stalling.
+  std::size_t history_depth = 512;
+  bool snapshots = true;
 };
 
 using Zxid = std::uint64_t;
@@ -97,6 +100,20 @@ struct SyncReq {  // lagging member -> leader: resend commits from `from` on
   static constexpr std::size_t kWire = 24;
 };
 
+struct Snapshot {  // leader -> member whose gap predates retained history
+  /// The snapshot covers every commit up to and including `upto`.
+  Zxid upto = 0;
+  kv::Snapshot snap;
+  std::size_t wire_bytes() const { return 32 + snap.wire_bytes(); }
+};
+
+struct SyncTooOld {  // leader -> member: requested zxid was compacted away
+  /// Oldest zxid the leader can still serve (snapshots disabled — the
+  /// member cannot be repaired and must surface the failure, not stall).
+  Zxid retained_from = 0;
+  static constexpr std::size_t kWire = 24;
+};
+
 class ZabNode : public simnet::Process {
  public:
   enum class Role { kLeader, kFollower, kObserver };
@@ -127,8 +144,19 @@ class ZabNode : public simnet::Process {
   Zxid applied_upto() const { return next_apply_ - 1; }
   const kv::Store& store() const { return store_; }
   const kv::CommitDigest& digest() const { return digest_; }
+  /// Committed batches currently retained for catch-up (the leader's ring;
+  /// 0 elsewhere) — the memory footprint history_depth bounds.
+  std::size_t log_entries_retained() const { return history_.size(); }
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t snapshots_served() const { return snapshots_served_; }
+  /// True when catch-up hit compacted history with snapshots disabled: the
+  /// member can never recover and says so instead of retrying forever.
+  bool catch_up_failed() const { return catch_up_failed_; }
 
   std::function<void(Zxid, const std::vector<kv::Request>&)> on_commit;
+  /// Fired after this member installs a leader snapshot (its history
+  /// fast-forwarded to `upto` without applying the individual commits).
+  std::function<void(Zxid, const kv::Snapshot&)> on_snapshot_install;
 
  private:
   struct InFlight {
@@ -147,6 +175,8 @@ class ZabNode : public simnet::Process {
   void handle_commit(const CommitMsg& c);
   void handle_inform(const Inform& inf);
   void handle_sync_req(NodeId src, const SyncReq& sr);  // leader only
+  void handle_snapshot(const Snapshot& s);
+  void handle_sync_too_old(const SyncTooOld& t);
   void record_history(Zxid zxid,
                       std::shared_ptr<const std::vector<kv::Request>> batch);
   void arm_retransmit_timer();              // leader only
@@ -185,6 +215,15 @@ class ZabNode : public simnet::Process {
   bool sync_timer_armed_ = false;
   bool crashed_ = false;
 
+  // Snapshot state: the leader caches the exported image per applied
+  // frontier (one export serves every lagging member at that frontier);
+  // members count installs and remember an unrecoverable catch-up.
+  Zxid snap_cache_upto_ = 0;
+  kv::Snapshot snap_cache_;
+  std::uint64_t snapshots_installed_ = 0;
+  std::uint64_t snapshots_served_ = 0;
+  bool catch_up_failed_ = false;
+
   kv::Store store_;
   kv::CommitDigest digest_;
   std::uint64_t served_reads_ = 0;
@@ -199,3 +238,5 @@ CANOPUS_REGISTER_PAYLOAD(canopus::zab::Ack, kZabAck);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::CommitMsg, kZabCommit);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::Inform, kZabInform);
 CANOPUS_REGISTER_PAYLOAD(canopus::zab::SyncReq, kZabSyncReq);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::Snapshot, kZabSnapshot);
+CANOPUS_REGISTER_PAYLOAD(canopus::zab::SyncTooOld, kZabSyncTooOld);

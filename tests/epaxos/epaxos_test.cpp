@@ -236,6 +236,91 @@ TEST_F(EPaxosTest, SetDigestOrderInsensitive) {
   EXPECT_FALSE(a == c);
 }
 
+// --- repair ring + snapshot escalation (ISSUE 10) -------------------------
+
+// The regression for the silent catch-up stall: a replica crashes long
+// enough for the survivors to retire more instances than the repair ring
+// (repair_window = 4) retains. Gap repair cannot fetch those instances from
+// anyone, so it must escalate to a snapshot — and converge.
+TEST_F(EPaxosTest, LongCrashedReplicaEscalatesToSnapshot) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  cfg.repair_window = 4;
+  build(5, cfg);
+  sim_->at(10 * kMillisecond, [this] {
+    net_->crash(cluster_.servers[4]);
+    nodes_[4]->crash();
+  });
+  for (int i = 0; i < 24; ++i)  // 24 instances >> window of 4
+    write_at((50 + 5 * i) * kMillisecond, i % 4, 100 + i, 1000 + i);
+  sim_->run_until(500 * kMillisecond);
+  EXPECT_LE(nodes_[0]->log_entries_retained(), 4u);  // ring stayed bounded
+  sim_->at(sim_->now(), [this] {
+    net_->recover(cluster_.servers[4]);
+    nodes_[4]->recover();
+  });
+  sim_->run_until(2 * kSecond);
+  EXPECT_GE(nodes_[4]->snapshots_installed(), 1u);
+  EXPECT_EQ(nodes_[4]->unrecoverable_gaps(), 0u);
+  for (int i = 0; i < 24; ++i)
+    EXPECT_EQ(nodes_[4]->store().read(100 + i), 1000u + i);
+  EXPECT_TRUE(nodes_[4]->set_digest() == nodes_[0]->set_digest());
+}
+
+// With snapshots disabled the same gap becomes an explicit unrecoverable
+// outcome: the replica counts it and stops asking — no endless CommitFull
+// retry loop, and the survivors keep executing.
+TEST_F(EPaxosTest, BeyondWindowGapIsLoudlyUnrecoverableWithoutSnapshots) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  cfg.repair_window = 4;
+  cfg.snapshots = false;
+  build(5, cfg);
+  sim_->at(10 * kMillisecond, [this] {
+    net_->crash(cluster_.servers[4]);
+    nodes_[4]->crash();
+  });
+  for (int i = 0; i < 24; ++i)
+    write_at((50 + 5 * i) * kMillisecond, i % 4, 100 + i, 1000 + i);
+  sim_->run_until(500 * kMillisecond);
+  sim_->at(sim_->now(), [this] {
+    net_->recover(cluster_.servers[4]);
+    nodes_[4]->recover();
+  });
+  sim_->run_until(2 * kSecond);
+  EXPECT_GE(nodes_[4]->unrecoverable_gaps(), 1u);
+  EXPECT_EQ(nodes_[4]->snapshots_installed(), 0u);
+  // Survivors are unaffected by the failed repair.
+  write_at(sim_->now() + 10 * kMillisecond, 0, 7, 77);
+  sim_->run_until(sim_->now() + 500 * kMillisecond);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(nodes_[i]->store().read(7), 77u);
+}
+
+// A short outage — fewer missed instances than the window — repairs from
+// the ring as before; no snapshot ships.
+TEST_F(EPaxosTest, ShortGapRepairsFromRingWithoutSnapshot) {
+  Config cfg;
+  cfg.repair_retry = 20 * kMillisecond;
+  cfg.repair_window = 64;
+  build(5, cfg);
+  sim_->at(10 * kMillisecond, [this] {
+    net_->crash(cluster_.servers[4]);
+    nodes_[4]->crash();
+  });
+  write_at(50 * kMillisecond, 0, 1, 11);
+  write_at(60 * kMillisecond, 1, 2, 22);
+  sim_->run_until(300 * kMillisecond);
+  sim_->at(sim_->now(), [this] {
+    net_->recover(cluster_.servers[4]);
+    nodes_[4]->recover();
+  });
+  sim_->run_until(kSecond);
+  EXPECT_EQ(nodes_[4]->snapshots_installed(), 0u);
+  EXPECT_EQ(nodes_[4]->store().read(1), 11u);
+  EXPECT_EQ(nodes_[4]->store().read(2), 22u);
+  EXPECT_TRUE(nodes_[4]->set_digest() == nodes_[0]->set_digest());
+}
+
 TEST_F(EPaxosTest, InterferingInstancesExecuteInDependencyOrder) {
   Config cfg;
   cfg.interference = 1.0;  // every instance conflicts

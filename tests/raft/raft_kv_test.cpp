@@ -133,6 +133,69 @@ TEST_F(RaftKvTest, RecoveredNodeIsRepairedByLog) {
   EXPECT_TRUE(nodes_[4]->digest() == nodes_[0]->digest());
 }
 
+// --- log compaction + InstallSnapshot (ISSUE 10) --------------------------
+
+// Committed prefix past compaction_threshold is folded into the KV
+// snapshot; the in-memory log stays bounded regardless of how much history
+// the cluster retires.
+TEST_F(RaftKvTest, CompactionBoundsTheLogUnderLoad) {
+  KvConfig cfg;
+  cfg.raft.compaction_threshold = 16;
+  cfg.raft.compaction_keep = 4;
+  build(3, cfg);
+  for (int i = 0; i < 60; ++i)
+    write_at((static_cast<Time>(i) + 1) * 5 * kMillisecond, 0, 100 + i,
+             1000 + i);
+  sim_->run_until(2 * kSecond);
+  for (auto& n : nodes_) {
+    EXPECT_LE(n->log_entries_retained(), 16u + 4u);
+    EXPECT_EQ(n->store().read(159), 1059u);  // state survives compaction
+    EXPECT_TRUE(n->digest() == nodes_[0]->digest());
+  }
+}
+
+// A follower that slept through compaction cannot be repaired from the log
+// — the entries it needs are gone. The leader must ship InstallSnapshot,
+// then resume normal replication from the snapshot frontier.
+TEST_F(RaftKvTest, FollowerBehindCompactionBaseGetsInstallSnapshot) {
+  KvConfig cfg;
+  cfg.raft.compaction_threshold = 16;
+  cfg.raft.compaction_keep = 4;
+  build(5, cfg);
+  write_at(kMillisecond, 0, 1, 11);
+  sim_->run_until(200 * kMillisecond);
+  crash(4);
+  for (int i = 0; i < 40; ++i)  // retire well past the threshold
+    write_at((250 + 5 * static_cast<Time>(i)) * kMillisecond, 0, 100 + i,
+             1000 + i);
+  sim_->run_until(kSecond);
+  recover(4);
+  sim_->run_until(3 * kSecond);
+  EXPECT_EQ(nodes_[4]->snapshots_installed(), 1u);
+  EXPECT_EQ(nodes_[4]->store().read(1), 11u);
+  EXPECT_EQ(nodes_[4]->store().read(139), 1039u);
+  EXPECT_TRUE(nodes_[4]->digest() == nodes_[0]->digest());
+  // And the repaired follower keeps riding the normal log afterwards.
+  write_at(sim_->now() + 10 * kMillisecond, 0, 7, 77);
+  sim_->run_until(sim_->now() + 500 * kMillisecond);
+  EXPECT_EQ(nodes_[4]->store().read(7), 77u);
+  EXPECT_EQ(nodes_[4]->snapshots_installed(), 1u);  // no extra snapshot
+}
+
+// Compaction disabled (threshold 0): the log grows without bound and no
+// snapshot ever ships — the pre-compaction baseline stays reachable.
+TEST_F(RaftKvTest, CompactionDisabledKeepsFullLog) {
+  KvConfig cfg;
+  cfg.raft.compaction_threshold = 0;
+  build(3, cfg);
+  for (int i = 0; i < 40; ++i)
+    write_at((static_cast<Time>(i) + 1) * 5 * kMillisecond, 0, 100 + i,
+             1000 + i);
+  sim_->run_until(2 * kSecond);
+  EXPECT_GE(nodes_[0]->log_entries_retained(), 40u);
+  EXPECT_EQ(nodes_[0]->snapshots_installed(), 0u);
+}
+
 TEST_F(RaftKvTest, AsymmetricPartitionDoesNotApplyStaleTail) {
   // One-way partition: the old leader's side (0,1) cannot reach (2,3,4),
   // but the reverse direction stays open. Nodes 2-4 elect a new leader and

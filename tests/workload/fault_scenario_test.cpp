@@ -91,7 +91,10 @@ TEST_P(ScenarioSuiteTest, MajorityLossStallsOnlyCanopus) {
     // The documented §6 trade: no progress while a super-leaf lacks a
     // majority — and no divergence.
     EXPECT_TRUE(r.stalled_during());
-    EXPECT_FALSE(r.progressed_after());  // crashed pnodes cannot rejoin
+    // Majority loss jams the rejoin path too: the exclusion of the crashed
+    // pnodes can never commit without a group majority, so no live sibling
+    // ever sponsors them back — the super-leaf stays dark.
+    EXPECT_FALSE(r.progressed_after());
   } else {
     // Quorum systems lose at most the crashed minority's capacity.
     EXPECT_TRUE(r.progressed_after());
@@ -99,7 +102,6 @@ TEST_P(ScenarioSuiteTest, MajorityLossStallsOnlyCanopus) {
 }
 
 TEST_P(ScenarioSuiteTest, RecoverableSystemsRegainAvailabilityAfterCrash) {
-  if (GetParam() == System::kCanopus) GTEST_SKIP() << "no rejoin path";
   const FaultTiming ft = short_timing();
   const TrialConfig tc = small_config(GetParam());
   const auto suite = standard_scenarios(tc.groups, tc.per_group, ft);
@@ -108,6 +110,24 @@ TEST_P(ScenarioSuiteTest, RecoverableSystemsRegainAvailabilityAfterCrash) {
   EXPECT_TRUE(r.safe());
   EXPECT_TRUE(r.progressed_after());
   EXPECT_GT(r.after.throughput, 0.5 * 5'000) << r.system;
+  EXPECT_TRUE(r.retention_ok) << r.system << " retained " << r.max_log_retained
+                              << " > bound " << retained_log_bound(tc);
+}
+
+// The regression the snapshot layer exists for: one node misses more
+// commits than any retained history covers, then must come back by state
+// transfer — never by a silent, endless history fetch.
+TEST_P(ScenarioSuiteTest, LongDowntimeRejoinsViaSnapshot) {
+  const FaultTiming ft = long_downtime_timing();
+  TrialConfig tc = small_config(GetParam());
+  const FaultScenario sc = long_downtime_scenario(tc.per_group, ft);
+  const ScenarioResult r = run_fault_scenario(tc, sc, ft, 5'000);
+  EXPECT_TRUE(r.safe()) << r.system;
+  EXPECT_TRUE(r.progressed_after()) << r.system;
+  EXPECT_GT(r.snapshots_installed, 0u)
+      << r.system << " rejoined without a state transfer";
+  EXPECT_TRUE(r.retention_ok) << r.system << " retained " << r.max_log_retained
+                              << " > bound " << retained_log_bound(tc);
 }
 
 TEST_P(ScenarioSuiteTest, DeterministicAcrossRuns) {
@@ -126,22 +146,42 @@ TEST_P(ScenarioSuiteTest, DeterministicAcrossRuns) {
 
 // --- RecoverArming: arming recovers against a system without a rejoin
 // path must fail fast (strict, the default) or be an explicit opt-in.
+// All four real systems now have a repair path (snapshot transfer /
+// sponsored rejoin), so the no-recover case is exercised through a stub.
 
-TEST(RecoverArmingTest, StrictThrowsForCanopusRecoverEvents) {
+class StubNoRecoverService final : public ConsensusService {
+ public:
+  StubNoRecoverService(runtime::Host& host, std::vector<NodeId> servers)
+      : ConsensusService(host, std::move(servers)) {}
+  const char* name() const override { return "StubNoRecover"; }
+  bool supports_recover() const override { return false; }
+  void submit(std::size_t, kv::Request) override {}
+  std::uint64_t committed_writes(std::size_t) const override { return 0; }
+  std::uint64_t commit_fingerprint(std::size_t) const override { return 0; }
+  std::uint64_t served_reads(std::size_t) const override { return 0; }
+  std::uint64_t progress(std::size_t) const override { return 0; }
+  const kv::Store& store(std::size_t) const override { return store_; }
+
+ private:
+  void node_crash(std::size_t) override {}
+  kv::Store store_;
+};
+
+TEST(RecoverArmingTest, StrictThrowsForDoomedRecoverEvents) {
   const TrialConfig tc = small_config(System::kCanopus);
   simnet::Simulator sim(1);
   simnet::Cluster cluster = build_cluster(tc);
   simnet::Network net(sim, cluster.topo, tc.cpu);
-  auto svc = make_service(tc, cluster, net);
-  ASSERT_FALSE(svc->supports_recover());
+  StubNoRecoverService svc(net, cluster.servers);
+  ASSERT_FALSE(svc.supports_recover());
   simnet::FaultSchedule sched;
   sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
   try {
-    arm_via_service(sched, net, *svc);  // strict by default
+    arm_via_service(sched, net, svc);  // strict by default
     FAIL() << "arming doomed recovers must throw";
   } catch (const std::invalid_argument& e) {
     // The diagnostic must name the system and the doomed events.
-    EXPECT_NE(std::string(e.what()).find("Canopus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("StubNoRecover"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("1 recover event"),
               std::string::npos);
     EXPECT_NE(std::string(e.what()).find("kTolerateUnsupported"),
@@ -155,17 +195,19 @@ TEST(RecoverArmingTest, StrictAcceptsCrashOnlyAndRecoverableSystems) {
     simnet::Simulator sim(1);
     simnet::Cluster cluster = build_cluster(tc);
     simnet::Network net(sim, cluster.topo, tc.cpu);
-    auto svc = make_service(tc, cluster, net);
+    StubNoRecoverService svc(net, cluster.servers);
     simnet::FaultSchedule crash_only;
     crash_only.crash_at(10, cluster.servers[1]);
-    EXPECT_NO_THROW(arm_via_service(crash_only, net, *svc));
+    EXPECT_NO_THROW(arm_via_service(crash_only, net, svc));
   }
-  {
-    const TrialConfig tc = small_config(System::kRaft);
+  // Every real system supports recover now — Canopus included.
+  for (System sys : {System::kCanopus, System::kRaft}) {
+    const TrialConfig tc = small_config(sys);
     simnet::Simulator sim(1);
     simnet::Cluster cluster = build_cluster(tc);
     simnet::Network net(sim, cluster.topo, tc.cpu);
     auto svc = make_service(tc, cluster, net);
+    ASSERT_TRUE(svc->supports_recover());
     simnet::FaultSchedule sched;
     sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
     EXPECT_NO_THROW(arm_via_service(sched, net, *svc));
@@ -177,14 +219,14 @@ TEST(RecoverArmingTest, TolerateModeLeavesTheNodeDark) {
   simnet::Simulator sim(1);
   simnet::Cluster cluster = build_cluster(tc);
   simnet::Network net(sim, cluster.topo, tc.cpu);
-  auto svc = make_service(tc, cluster, net);
+  StubNoRecoverService svc(net, cluster.servers);
   simnet::FaultSchedule sched;
   sched.crash_at(10, cluster.servers[1]).recover_at(20, cluster.servers[1]);
-  arm_via_service(sched, net, *svc, RecoverArming::kTolerateUnsupported);
+  arm_via_service(sched, net, svc, RecoverArming::kTolerateUnsupported);
   sim.run_until(30);
-  EXPECT_FALSE(svc->up(1));  // the recover no-opped, as opted into
-  EXPECT_TRUE(svc->ever_crashed(1));
-  EXPECT_FALSE(svc->comparable(1));
+  EXPECT_FALSE(svc.up(1));  // the recover no-opped, as opted into
+  EXPECT_TRUE(svc.ever_crashed(1));
+  EXPECT_FALSE(svc.comparable(1));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, ScenarioSuiteTest,

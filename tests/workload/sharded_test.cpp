@@ -186,23 +186,23 @@ TEST(ShardedService, GroupScopedScenarioHitsOnlyItsGroup) {
   EXPECT_TRUE(svc.group(1).up(1));
 }
 
-TEST(ShardedService, StrictArmingRejectsDoomedRecovers) {
-  ShardedConfig sc = small_sharded(System::kCanopus);
-  simnet::Simulator sim(6);
-  simnet::Cluster cluster = build_cluster(sc.base);
-  simnet::Network net(sim, cluster.topo, sc.base.cpu);
-  ShardedService svc(sc.base, cluster, net);
-  ASSERT_FALSE(svc.supports_recover());
-  simnet::FaultSchedule with_recover;
-  with_recover.crash_at(10, cluster.servers[0])
-      .recover_at(20, cluster.servers[0]);
-  EXPECT_THROW(arm_sharded(with_recover, net, svc), std::invalid_argument);
-  // Crash-only schedules arm fine even strictly; tolerate mode accepts all.
-  simnet::FaultSchedule crash_only;
-  crash_only.crash_at(10, cluster.servers[0]);
-  EXPECT_NO_THROW(arm_sharded(crash_only, net, svc));
-  EXPECT_NO_THROW(arm_sharded(with_recover, net, svc,
-                              RecoverArming::kTolerateUnsupported));
+TEST(ShardedService, StrictArmingAcceptsRecoversForAllSystems) {
+  // Every system — Canopus included, via sponsored rejoin — now has a
+  // repair path, so strict arming accepts recover events everywhere.
+  for (System sys : {System::kCanopus, System::kRaft}) {
+    ShardedConfig sc = small_sharded(sys);
+    simnet::Simulator sim(6);
+    simnet::Cluster cluster = build_cluster(sc.base);
+    simnet::Network net(sim, cluster.topo, sc.base.cpu);
+    ShardedService svc(sc.base, cluster, net);
+    ASSERT_TRUE(svc.supports_recover());
+    simnet::FaultSchedule with_recover;
+    with_recover.crash_at(10, cluster.servers[0])
+        .recover_at(20, cluster.servers[0]);
+    EXPECT_NO_THROW(arm_sharded(with_recover, net, svc));
+    EXPECT_NO_THROW(arm_sharded(with_recover, net, svc,
+                                RecoverArming::kTolerateUnsupported));
+  }
 }
 
 TEST(ShardedChaos, PerGroupScopeStormsEveryGroup) {
